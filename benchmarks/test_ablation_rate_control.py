@@ -1,0 +1,55 @@
+"""Section 5.2.1's claim: switching decisions, not rate adaptation, are
+responsible for most of WGTT's gain.
+
+We swap the driver-default Minstrel for an ESNR-oracle rate controller
+(perfect channel knowledge) and compare: if rate adaptation were the
+bottleneck, the oracle would transform throughput; if AP selection is
+(the paper's claim), the oracle moves throughput far less than switching
+moves it relative to the baseline.
+"""
+
+from repro.core.ap import ApParams
+from repro.experiments import mean_throughput_mbps, run_single_drive
+
+from common import cached, coverage_window, print_table
+
+
+def run_variant(label, mode="wgtt", **overrides):
+    def run():
+        result = run_single_drive(
+            mode=mode, speed_mph=15.0, traffic="udp", udp_rate_mbps=50.0,
+            seed=61, **overrides,
+        )
+        t0, t1 = coverage_window(15.0)
+        return mean_throughput_mbps(result.deliveries, t0, t1)
+
+    return cached(f"ratectl:{label}", run)
+
+
+def test_ablation_rate_control_vs_ap_selection(benchmark):
+    def run_all():
+        return {
+            "wgtt + minstrel": run_variant("minstrel"),
+            "wgtt + ESNR oracle": run_variant(
+                "oracle", ap_params=ApParams(rate_control="esnr")
+            ),
+            "baseline + minstrel": run_variant("baseline", mode="baseline"),
+        }
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: rate adaptation vs AP selection (15 mph UDP)",
+        ["variant", "throughput (Mb/s)"],
+        [[k, f"{v:.2f}"] for k, v in data.items()],
+    )
+    minstrel = data["wgtt + minstrel"]
+    oracle = data["wgtt + ESNR oracle"]
+    baseline = data["baseline + minstrel"]
+    switching_gain = minstrel - baseline
+    rate_gain = abs(oracle - minstrel)
+    print(f"switching gain {switching_gain:.1f} Mb/s vs "
+          f"rate-control delta {rate_gain:.1f} Mb/s")
+    # The paper's claim, quantified: the switching gain dwarfs anything
+    # better rate control can add.
+    assert switching_gain > 2.0 * rate_gain
+    assert minstrel > baseline

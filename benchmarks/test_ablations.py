@@ -1,0 +1,86 @@
+"""Ablations beyond the paper: isolate each WGTT design choice.
+
+* Block-ACK forwarding on/off (section 3.2.1's contribution).
+* Cross-AP queue handoff via start(c, k) vs naive switching.
+* Selection metric: median (the paper) vs mean vs max ESNR.
+"""
+
+import numpy as np
+
+from repro.core.ap import ApParams
+from repro.core.controller import ControllerParams
+from repro.experiments import mean_throughput_mbps, run_single_drive
+
+from common import cached, coverage_window, print_table
+
+
+def run_tcp(label, **overrides):
+    def run():
+        result = run_single_drive(
+            mode="wgtt", speed_mph=15.0, traffic="tcp", seed=53, **overrides
+        )
+        t0, t1 = coverage_window(15.0)
+        return mean_throughput_mbps(result.deliveries, t0, t1), result
+
+    return cached(f"ablation:{label}", run)
+
+
+def test_ablation_block_ack_forwarding(benchmark):
+    def run_all():
+        on, res_on = run_tcp("ba_on")
+        off, res_off = run_tcp("ba_off", ap_params=ApParams(ba_forwarding=False))
+        return on, off, res_on, res_off
+
+    on, off, res_on, res_off = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    fwd = res_on.trace.count("ba_forward_applied")
+    print_table(
+        "Ablation: block-ACK forwarding",
+        ["variant", "TCP throughput (Mb/s)", "BAs recovered via backhaul"],
+        [["forwarding ON", f"{on:.2f}", fwd],
+         ["forwarding OFF", f"{off:.2f}", 0]],
+    )
+    assert fwd > 0  # the mechanism actually engages
+    assert res_off.trace.count("ba_forward_applied") == 0
+    # Forwarding never hurts; expect a measurable win at cell edges.
+    assert on >= 0.9 * off
+
+
+def test_ablation_selection_metric(benchmark):
+    metrics = ("median", "mean", "max")
+
+    def run_all():
+        return {
+            m: run_tcp(f"metric_{m}",
+                       controller_params=ControllerParams(selection_metric=m))[0]
+            for m in metrics
+        }
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: AP selection metric",
+        ["metric", "TCP throughput (Mb/s)"],
+        [[m, f"{data[m]:.2f}"] for m in metrics],
+    )
+    # All three work (they share the window); median -- the paper's choice
+    # -- must be competitive with the best.
+    assert data["median"] >= 0.7 * max(data.values())
+
+
+def test_ablation_window_extremes(benchmark):
+    def run_all():
+        return {
+            w: run_tcp(f"window_{w}",
+                       controller_params=ControllerParams(selection_window_s=w))[0]
+            for w in (0.002, 0.010, 0.200)
+        }
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: selection window size",
+        ["window (s)", "TCP throughput (Mb/s)"],
+        [[w, f"{data[w]:.2f}"] for w in sorted(data)],
+    )
+    # The paper's 10 ms must beat a very stale 200 ms window or at least
+    # match it within noise; and nothing collapses.
+    assert data[0.010] >= 0.75 * max(data.values())
+    assert min(data.values()) > 2.0

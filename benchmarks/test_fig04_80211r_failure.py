@@ -1,0 +1,67 @@
+"""Fig. 4: stock 802.11r-style roaming fails in the picocell regime.
+
+The paper drives past two APs at 20 mph and 5 mph with a constant-rate
+UDP flow through the *baseline*: at 20 mph the handover fails outright;
+at 5 mph it happens but far later than it should, losing capacity.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ServingTimeline,
+    capacity_loss_rate,
+    mean_throughput_mbps,
+)
+
+from common import cached, coverage_window, drive, print_table
+
+
+def run(speed_mph):
+    return drive("baseline", speed_mph, "udp", seed=9)
+
+
+def test_fig04_slow_drive_switches_late(benchmark):
+    result = benchmark.pedantic(lambda: run(5.0), rounds=1, iterations=1)
+    net = result.net
+    links = net.links_for_client(result.client)
+    ap_ids = [ap.node_id for ap in net.aps]
+    t0, t1 = coverage_window(5.0)
+    loss = capacity_loss_rate(result.timeline, links, ap_ids, t0, t1, sample_s=0.02)
+    print_table(
+        "Fig. 4(b): baseline at 5 mph",
+        ["metric", "value"],
+        [
+            ["handover attempts", result.client.policy.handover_attempts],
+            ["handover failures", result.client.policy.handover_failures],
+            ["capacity loss rate", f"{loss:.2f}"],
+            ["throughput (Mb/s)", f"{mean_throughput_mbps(result.deliveries, t0, t1):.2f}"],
+        ],
+    )
+    # Handovers mostly succeed at 5 mph, but late switching still loses a
+    # sizeable capacity fraction (the shaded area of Fig. 4b).
+    assert result.timeline.switch_count >= 2
+    assert loss > 0.15
+
+
+def test_fig04_fast_drive_loses_connectivity(benchmark):
+    result = benchmark.pedantic(lambda: run(20.0), rounds=1, iterations=1)
+    t0, t1 = coverage_window(20.0)
+    # Dead time: longest delivery gap while inside coverage.
+    times = sorted(t for t, _b in result.deliveries if t0 <= t < t1)
+    gaps = np.diff(times) if len(times) > 1 else np.array([t1 - t0])
+    longest_gap = float(gaps.max()) if len(gaps) else t1 - t0
+    slow = drive("baseline", 5.0, "udp", seed=9)
+    s0, s1 = coverage_window(5.0)
+    thr_fast = mean_throughput_mbps(result.deliveries, t0, t1)
+    thr_slow = mean_throughput_mbps(slow.deliveries, s0, s1)
+    print_table(
+        "Fig. 4(a): baseline at 20 mph vs 5 mph",
+        ["speed", "throughput (Mb/s)", "longest outage (s)"],
+        [
+            ["20 mph", f"{thr_fast:.2f}", f"{longest_gap:.2f}"],
+            [" 5 mph", f"{thr_slow:.2f}", "-"],
+        ],
+    )
+    # The faster drive does clearly worse and suffers a real outage.
+    assert thr_fast < thr_slow
+    assert longest_gap > 0.5

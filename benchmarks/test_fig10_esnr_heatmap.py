@@ -1,0 +1,59 @@
+"""Fig. 10: per-AP ESNR heatmap of the road.
+
+Sweeps a probe across the road grid and reports each AP's coverage
+footprint; adjacent footprints must overlap by 6-10 m as in the paper.
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, build_network
+from repro.mobility import StationaryTrajectory
+from repro.phy.channel import Link
+
+from common import print_table
+
+
+def heatmap(seed=3):
+    net = build_network(ExperimentConfig(mode="wgtt", seed=seed))
+    xs = np.arange(-10.0, 63.0, 1.0)
+    ys = (2.0, 5.5)  # the two lanes
+    grids = []
+    for i, ap in enumerate(net.aps):
+        grid = np.zeros((len(ys), len(xs)))
+        for yi, y in enumerate(ys):
+            for xi, x in enumerate(xs):
+                client = StationaryTrajectory((float(x), float(y), 1.5))
+                link = Link(
+                    ap_position=net.road.ap_position(i),
+                    ap_antenna=ap.radio.antenna,
+                    client_position_fn=client.position,
+                    speed_mps=0.0,
+                    rng=np.random.default_rng(0),
+                )
+                grid[yi, xi] = link.mean_snr_db(0.0)
+        grids.append(grid)
+    return xs, ys, grids, net
+
+
+def test_fig10_heatmap_footprints(benchmark):
+    xs, ys, grids, net = benchmark.pedantic(heatmap, rounds=1, iterations=1)
+    rows = []
+    spans = []
+    for i, grid in enumerate(grids):
+        usable = xs[grid.max(axis=0) > 8.0]
+        lo, hi = float(usable.min()), float(usable.max())
+        spans.append((lo, hi))
+        rows.append([f"AP{i + 1}", f"{net.road.ap_x[i]:.1f}", f"{lo:.0f}..{hi:.0f}",
+                     f"{hi - lo:.0f}"])
+    print_table(
+        "Fig. 10: per-AP coverage along the road (mean SNR > 8 dB)",
+        ["AP", "x (m)", "footprint (m)", "width (m)"],
+        rows,
+    )
+    overlaps = [spans[i][1] - spans[i + 1][0] for i in range(len(spans) - 1)]
+    print(f"adjacent-AP overlaps: {[f'{o:.1f}' for o in overlaps]} m")
+    # Footprints centred on their AP, overlapping 4-12 m (paper: 6-10 m).
+    for i, (lo, hi) in enumerate(spans):
+        assert lo < net.road.ap_x[i] < hi
+    for overlap in overlaps:
+        assert 3.0 < overlap < 14.0

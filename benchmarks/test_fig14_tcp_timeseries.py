@@ -1,0 +1,48 @@
+"""Fig. 14: TCP throughput and serving-AP timeseries during a 15 mph drive.
+
+WGTT switches APs several times a second and keeps throughput up;
+the baseline's throughput collapses between cells and TCP hits RTO.
+"""
+
+import numpy as np
+
+from repro.experiments import throughput_timeseries
+
+from common import coverage_window, drive, print_table
+
+
+def test_fig14_tcp_timeseries(benchmark):
+    def run_both():
+        return (
+            drive("wgtt", 15.0, "tcp"),
+            drive("baseline", 15.0, "tcp"),
+        )
+
+    wgtt, base = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    t0, t1 = coverage_window(15.0)
+    rows = []
+    series = {}
+    for name, result in (("WGTT", wgtt), ("Enhanced 802.11r", base)):
+        ts, mbps = throughput_timeseries(result.deliveries, t0, t1, bin_s=0.5)
+        series[name] = mbps
+        switches_per_s = result.timeline.switch_count / (t1 - t0)
+        dead = float(np.mean(mbps < 0.25))
+        rows.append([name, f"{np.mean(mbps):.2f}", f"{switches_per_s:.1f}",
+                     f"{100 * dead:.0f}%"])
+    print_table(
+        "Fig. 14: TCP during a 15 mph drive",
+        ["system", "mean (Mb/s)", "switches/s", "dead bins"],
+        rows,
+    )
+    print("WGTT     series:", " ".join(f"{v:4.1f}" for v in series["WGTT"]))
+    print("baseline series:", " ".join(f"{v:4.1f}" for v in series["Enhanced 802.11r"]))
+
+    # WGTT switches frequently (paper: ~5/s) and has little dead time.
+    assert wgtt.timeline.switch_count / (t1 - t0) > 2.0
+    assert float(np.mean(series["WGTT"] < 0.25)) < 0.35
+    # The baseline shows real dead bins (the between-cell collapses) or
+    # outright TCP timeouts.
+    base_dead = float(np.mean(series["Enhanced 802.11r"] < 0.25))
+    assert base_dead > 0.2 or base.sender.timeouts >= 2
+    # And WGTT's mean beats the baseline's.
+    assert np.mean(series["WGTT"]) > np.mean(series["Enhanced 802.11r"])

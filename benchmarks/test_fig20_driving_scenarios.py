@@ -1,0 +1,58 @@
+"""Figs. 19/20: two-car scenarios -- following, parallel, opposing.
+
+The paper finds opposing-direction driving fastest (the cars are far
+apart most of the time, minimal contention) and parallel driving slowest
+(the two clients carrier-sense each other for the whole transit).
+"""
+
+import numpy as np
+
+from repro.experiments import mean_throughput_mbps
+from repro.mobility import SCENARIOS, RoadLayout
+
+from common import cached, coverage_window, multi_client_drive, print_table
+
+
+def scenario_throughput(name, mode="wgtt", traffic="udp"):
+    def run():
+        road = RoadLayout()
+        trajectories = SCENARIOS[name](road, 15.0)
+        net, flows = multi_client_drive(
+            mode, trajectories, traffic=traffic, udp_rate_mbps=30.0, seed=19
+        )
+        t0, t1 = coverage_window(15.0)
+        return [
+            mean_throughput_mbps(deliveries(), t0, t1)
+            for _c, _s, _r, deliveries in flows
+        ]
+
+    return cached(f"fig20:{name}:{mode}:{traffic}", run)
+
+
+def test_fig20_scenarios_udp(benchmark):
+    names = ("following", "parallel", "opposing")
+
+    def run_all():
+        out = {}
+        for name in names:
+            for mode in ("wgtt", "baseline"):
+                out[(name, mode)] = scenario_throughput(name, mode)
+        return out
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name in names:
+        w = float(np.mean(data[(name, "wgtt")]))
+        b = float(np.mean(data[(name, "baseline")]))
+        rows.append([name, f"{w:.2f}", f"{b:.2f}"])
+    print_table(
+        "Fig. 20: mean per-client UDP throughput by scenario (Mb/s), 15 mph",
+        ["scenario", "WGTT", "Enhanced 802.11r"],
+        rows,
+    )
+    wgtt = {name: float(np.mean(data[(name, "wgtt")])) for name in names}
+    # Paper ordering: opposing best, parallel worst.
+    assert wgtt["opposing"] > wgtt["parallel"]
+    # WGTT beats the baseline in every scenario.
+    for name in names:
+        assert np.mean(data[(name, "wgtt")]) > np.mean(data[(name, "baseline")])

@@ -1,0 +1,87 @@
+"""Fig. 24: frame rate CDF for bidirectional video conferencing.
+
+A two-way UDP video call runs during the drive.  The paper reports an
+85th percentile of ~20 fps for the Skype-like profile (both 5 and
+15 mph) and higher for the Hangouts-like profile (smaller frames).
+"""
+
+import numpy as np
+
+from repro.apps.conferencing import (
+    HANGOUTS_PROFILE,
+    SKYPE_PROFILE,
+    ConferencingReceiver,
+    ConferencingSender,
+)
+from repro.experiments import ExperimentConfig, build_network
+from repro.mobility import LinearTrajectory, RoadLayout, mph_to_mps
+
+from common import cached, print_table
+
+
+def run_call(speed_mph, profile, seed=43):
+    def run():
+        road = RoadLayout()
+        net = build_network(ExperimentConfig(mode="wgtt", road=road, seed=seed))
+        trajectory = LinearTrajectory.drive_through(road, speed_mph)
+        client = net.add_client(trajectory)
+
+        # Downlink leg: conference room -> car.
+        down_rx = ConferencingReceiver(net.sim, flow_id=900, params=profile)
+        client.register_flow(900, down_rx.on_packet)
+        down_tx = ConferencingSender(net.sim, net.server_send, src=net.server_id,
+                                     dst=client.node_id, flow_id=900, params=profile)
+        # Uplink leg: car camera -> conference room.
+        up_rx = ConferencingReceiver(net.sim, flow_id=901, params=profile)
+        net.controller.register_uplink_handler(
+            901, net.deliver_to_server(up_rx.on_packet)
+        )
+        up_tx = ConferencingSender(net.sim, client.uplink_send, src=client.node_id,
+                                   dst=net.server_id, flow_id=901, params=profile)
+
+        start = max(0.05, (min(road.ap_x) - 8.0 - trajectory.start_x)
+                    / trajectory.speed_mps)
+        net.sim.schedule(start, down_tx.start)
+        net.sim.schedule(start, up_tx.start)
+        duration = trajectory.transit_duration(road)
+        net.run(until=duration)
+        v = mph_to_mps(speed_mph)
+        t0, t1 = 15.0 / v, (52.5 + 15.0) / v
+        return down_rx.fps_samples(t0, t1)
+
+    return cached(f"fig24:{speed_mph}:{profile.name}", run)
+
+
+def test_fig24_conferencing_fps(benchmark):
+    cases = [
+        (5.0, SKYPE_PROFILE),
+        (15.0, SKYPE_PROFILE),
+        (15.0, HANGOUTS_PROFILE),
+    ]
+
+    def run_all():
+        return {(s, p.name): run_call(s, p) for s, p in cases}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for (speed, name), samples in data.items():
+        arr = np.array(samples)
+        rows.append([
+            f"{speed:.0f} mph", name,
+            f"{np.percentile(arr, 15):.0f}",
+            f"{np.median(arr):.0f}",
+            f"{np.percentile(arr, 85):.0f}",
+        ])
+    print_table(
+        "Fig. 24: downlink conferencing fps over WGTT",
+        ["speed", "app", "p15", "p50", "p85"],
+        rows,
+    )
+    skype_5 = np.array(data[(5.0, "skype")])
+    skype_15 = np.array(data[(15.0, "skype")])
+    hangouts = np.array(data[(15.0, "hangouts")])
+    # Paper: ~20+ fps at the 85th percentile for Skype at both speeds.
+    assert np.percentile(skype_5, 85) >= 20
+    assert np.percentile(skype_15, 85) >= 20
+    # Hangouts (smaller frames, higher rate) renders more fps.
+    assert np.median(hangouts) > np.median(skype_15)

@@ -1,0 +1,49 @@
+"""Table 1: execution time of the stop/start/ack switching protocol.
+
+The paper measures 17-21 ms mean (std 3-5 ms) across 50-90 Mb/s offered
+loads, dominated by the kernel ioctl and driver-queue filtering.
+"""
+
+import numpy as np
+
+from common import drive, print_table
+
+
+def switch_durations(result):
+    pending = {}
+    durations = []
+    for r in result.trace.records():
+        if r.kind == "switch_initiated" and r["old"] is not None:
+            pending[r["client"]] = r.time
+        elif r.kind == "ap_switch" and r["client"] in pending:
+            durations.append(r.time - pending.pop(r["client"]))
+    return durations
+
+
+def test_tab1_switch_execution_time(benchmark):
+    rates = (30.0, 50.0, 70.0)
+
+    def run_all():
+        out = {}
+        for rate in rates:
+            result = drive("wgtt", 15.0, "udp", seed=11, udp_rate_mbps=rate)
+            out[rate] = switch_durations(result)
+        return out
+
+    durations = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for rate in rates:
+        d = np.array(durations[rate]) * 1000.0
+        rows.append([f"{rate:.0f}", f"{d.mean():.1f}", f"{d.std():.1f}", len(d)])
+    print_table(
+        "Table 1: switching protocol execution time",
+        ["offered (Mb/s)", "mean (ms)", "std (ms)", "n"],
+        rows,
+    )
+    means = [np.mean(durations[r]) for r in rates]
+    # Paper: 17-21 ms, flat across load.  Our stop-processing model is
+    # calibrated to the same window.
+    for mean in means:
+        assert 0.012 < mean < 0.028
+    # Flat: max/min within 50%.
+    assert max(means) / min(means) < 1.5

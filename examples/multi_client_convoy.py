@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multiple vehicles sharing the picocell array (Figs. 17, 19, 20).
+
+Runs the paper's three two-car arrangements -- following, parallel, and
+opposing-direction driving -- with a bulk UDP download to each car, and
+prints per-client throughput.  Parallel cars contend for the same cells
+(carrier sensing each other); opposing cars spend most of the drive far
+apart and barely interact.
+
+Run:  python examples/multi_client_convoy.py
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    attach_udp_downlink,
+    build_network,
+    mean_throughput_mbps,
+    udp_deliveries,
+)
+from repro.mobility import SCENARIOS, RoadLayout, mph_to_mps
+
+SPEED_MPH = 15.0
+RATE_MBPS = 30.0
+
+
+def run_scenario(name: str, mode: str = "wgtt", seed: int = 3):
+    road = RoadLayout()
+    net = build_network(ExperimentConfig(mode=mode, road=road, seed=seed))
+    trajectories = SCENARIOS[name](road, SPEED_MPH)
+    flows = []
+    duration = 0.0
+    for trajectory in trajectories:
+        client = net.add_client(trajectory)
+        sender, receiver = attach_udp_downlink(net, client, RATE_MBPS)
+        start = 8.0 / trajectory.speed_mps  # shortly after entering coverage
+        net.sim.schedule(start, sender.start)
+        flows.append((client, sender, receiver))
+        duration = max(duration, trajectory.transit_duration(road))
+    net.run(until=duration)
+
+    v = mph_to_mps(SPEED_MPH)
+    t_in, t_out = 15.0 / v, (52.5 + 15.0) / v
+    return [
+        mean_throughput_mbps(udp_deliveries(rx, tx.packet_bytes), t_in, t_out)
+        for _c, tx, rx in flows
+    ]
+
+
+def main() -> None:
+    print(f"Two cars at {SPEED_MPH:.0f} mph, {RATE_MBPS:.0f} Mbit/s UDP download each\n")
+    print(f"{'scenario':>12} {'car 1':>9} {'car 2':>9} {'total':>9}")
+    for name in ("following", "parallel", "opposing"):
+        per_client = run_scenario(name)
+        total = sum(per_client)
+        print(f"{name:>12} {per_client[0]:8.2f} {per_client[1]:8.2f} {total:8.2f}  Mbit/s")
+    print("\nThe paper's Fig. 20 finds opposing-direction driving fastest")
+    print("(minimal contention) and parallel driving slowest (the cars")
+    print("carrier-sense each other the whole way).")
+
+
+if __name__ == "__main__":
+    main()

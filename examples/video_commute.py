@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Stream an HD video to a commuting client (the Table 4 scenario).
+
+A 720p stream (2.5 Mbit/s, 1.5 s pre-buffer) plays while the car transits
+the AP array.  The script reports the rebuffer ratio -- the fraction of
+the drive spent staring at a loading spinner -- under WGTT and under the
+Enhanced 802.11r baseline, at two driving speeds.
+
+Run:  python examples/video_commute.py
+"""
+
+from repro.apps.video import VideoParams, VideoStreamingSession
+from repro.experiments import ExperimentConfig, attach_tcp_downlink, build_network
+from repro.mobility import LinearTrajectory, RoadLayout, mph_to_mps
+
+
+def stream_drive(mode: str, speed_mph: float, seed: int = 41) -> VideoStreamingSession:
+    road = RoadLayout()
+    net = build_network(ExperimentConfig(mode=mode, road=road, seed=seed))
+    trajectory = LinearTrajectory.drive_through(road, speed_mph)
+    client = net.add_client(trajectory)
+    sender, receiver = attach_tcp_downlink(net, client)
+
+    session = VideoStreamingSession(net.sim, VideoParams())
+    receiver.on_bytes = session.on_bytes
+
+    start = (min(road.ap_x) - 8.0 - trajectory.start_x) / trajectory.speed_mps
+    net.sim.schedule(max(0.05, start), sender.start)
+    duration = trajectory.transit_duration(road)
+    net.run(until=duration)
+    session.finish(duration)
+    session.transit_s = duration - max(0.05, start)
+    return session
+
+
+def main() -> None:
+    print("HD video streaming during the commute (2.5 Mbit/s, 1.5 s pre-buffer)\n")
+    print(f"{'speed':>8} {'system':>10} {'rebuffer ratio':>15} {'stalls':>7}")
+    for speed in (5.0, 25.0):
+        for mode in ("wgtt", "baseline"):
+            s = stream_drive(mode, speed)
+            ratio = s.rebuffer_ratio(s.transit_s)
+            print(f"{speed:6.0f}mph {mode:>10} {ratio:15.2f} {s.stall_events:7d}")
+    print("\nThe paper's Table 4: WGTT rebuffers 0.00 at every speed;")
+    print("Enhanced 802.11r rebuffers 0.54-0.69 of the drive.")
+
+
+if __name__ == "__main__":
+    main()

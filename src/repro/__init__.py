@@ -1,0 +1,26 @@
+"""Wi-Fi Goes to Town -- a full reproduction of the SIGCOMM 2017 system.
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` -- discrete-event engine and tracing.
+* :mod:`repro.phy` -- path loss, antennas, Rayleigh fading, CSI, ESNR, MCS.
+* :mod:`repro.mac` -- 802.11n aggregation, block ACKs, rate control, medium.
+* :mod:`repro.net` -- packets, queues, Ethernet backhaul.
+* :mod:`repro.transport` -- TCP Reno and UDP CBR.
+* :mod:`repro.mobility` -- road layout, trajectories, driving scenarios.
+* :mod:`repro.core` -- the WGTT contribution (AP selection, switching
+  protocol, cyclic queues, BA forwarding, de-dup) and the Enhanced
+  802.11r baseline.
+* :mod:`repro.apps` -- video streaming, conferencing, web-browsing models.
+* :mod:`repro.experiments` -- builders, metrics, and per-figure runners.
+
+Quickstart::
+
+    from repro.experiments import run_single_drive
+    result = run_single_drive(mode="wgtt", speed_mph=15, traffic="tcp")
+    print(result.throughput_mbps)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Application workloads: video streaming, conferencing, web browsing."""
+
+from .conferencing import (
+    HANGOUTS_PROFILE,
+    SKYPE_PROFILE,
+    ConferencingParams,
+    ConferencingReceiver,
+    ConferencingSender,
+)
+from .video import VideoParams, VideoStreamingSession
+from .web import WebPageLoad, WebPageParams
+
+__all__ = [
+    "HANGOUTS_PROFILE",
+    "SKYPE_PROFILE",
+    "ConferencingParams",
+    "ConferencingReceiver",
+    "ConferencingSender",
+    "VideoParams",
+    "VideoStreamingSession",
+    "WebPageLoad",
+    "WebPageParams",
+]

@@ -1,0 +1,140 @@
+"""Bidirectional video conferencing over UDP (Fig. 24).
+
+The paper runs Skype / Google Hangouts between a car and a conference
+room and records the downlink frames-per-second once per second.  The
+model sends camera frames as bursts of UDP datagrams in both directions;
+a frame counts as rendered in the second it completes (all of its packets
+delivered within a latency budget).  Hangouts achieves higher fps than
+Skype in the paper because it drops image resolution -- modelled here as
+a smaller frame size at a higher nominal rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.packet import IP_HEADER_BYTES, UDP_HEADER_BYTES, Packet
+from ..sim.engine import Simulator
+
+__all__ = ["ConferencingParams", "SKYPE_PROFILE", "HANGOUTS_PROFILE", "ConferencingSender", "ConferencingReceiver"]
+
+
+@dataclass
+class ConferencingParams:
+    """One direction of a video call."""
+
+    name: str = "skype"
+    frame_rate_fps: float = 30.0
+    frame_bytes: int = 6000  # ~1.5 Mbit/s at 30 fps
+    packet_payload_bytes: int = 1200
+    #: A frame missing packets after this long is discarded, not rendered.
+    frame_deadline_s: float = 0.45
+
+
+SKYPE_PROFILE = ConferencingParams(name="skype", frame_rate_fps=30.0, frame_bytes=6000)
+#: Hangouts reduces per-frame resolution and pushes more frames.
+HANGOUTS_PROFILE = ConferencingParams(name="hangouts", frame_rate_fps=60.0, frame_bytes=2200)
+
+
+class ConferencingSender:
+    """Emits camera frames as bursts of UDP datagrams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: Callable[[Packet], None],
+        src: int,
+        dst: int,
+        flow_id: int,
+        params: Optional[ConferencingParams] = None,
+    ):
+        self.sim = sim
+        self.send_fn = send_fn
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.params = params or SKYPE_PROFILE
+        self._frame_no = 0
+        self._running = False
+        self.packets_per_frame = max(
+            1, math.ceil(self.params.frame_bytes / self.params.packet_payload_bytes)
+        )
+        self.frames_sent = 0
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("ConferencingSender already started")
+        self._running = True
+        self._emit_frame()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _emit_frame(self) -> None:
+        if not self._running:
+            return
+        frame_no = self._frame_no
+        self._frame_no += 1
+        self.frames_sent += 1
+        remaining = self.params.frame_bytes
+        for i in range(self.packets_per_frame):
+            payload = min(self.params.packet_payload_bytes, remaining)
+            remaining -= payload
+            packet = Packet(
+                size_bytes=payload + UDP_HEADER_BYTES + IP_HEADER_BYTES,
+                src=self.src,
+                dst=self.dst,
+                protocol="udp",
+                flow_id=self.flow_id,
+                seq=frame_no * self.packets_per_frame + i,
+                created_at=self.sim.now,
+                payload=("frame", frame_no, i, self.packets_per_frame),
+            )
+            self.send_fn(packet)
+        self.sim.schedule(1.0 / self.params.frame_rate_fps, self._emit_frame)
+
+
+class ConferencingReceiver:
+    """Reassembles frames and records rendered fps per wall-clock second."""
+
+    def __init__(self, sim: Simulator, flow_id: int, params: Optional[ConferencingParams] = None):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.params = params or SKYPE_PROFILE
+        self._partial: Dict[int, Dict] = {}  # frame_no -> {seen, total, first_t}
+        self.frames_rendered = 0
+        self.frames_expired = 0
+        #: second index -> frames completed in that second (the scrot log).
+        self.fps_log: Dict[int, int] = {}
+
+    def on_packet(self, packet: Packet, t: float) -> None:
+        if packet.flow_id != self.flow_id or not packet.payload:
+            return
+        kind, frame_no, index, total = packet.payload
+        if kind != "frame":
+            return
+        state = self._partial.get(frame_no)
+        if state is None:
+            state = {"seen": set(), "total": total, "first_t": t}
+            self._partial[frame_no] = state
+        if t - state["first_t"] > self.params.frame_deadline_s:
+            # Too late: the frame was skipped by the codec.
+            if frame_no in self._partial:
+                del self._partial[frame_no]
+                self.frames_expired += 1
+            return
+        state["seen"].add(index)
+        if len(state["seen"]) >= state["total"]:
+            del self._partial[frame_no]
+            self.frames_rendered += 1
+            second = int(t)
+            self.fps_log[second] = self.fps_log.get(second, 0) + 1
+
+    def fps_samples(self, t0: float, t1: float) -> List[int]:
+        """Per-second fps readings over [t0, t1) -- the Fig. 24 CDF input."""
+        return [
+            self.fps_log.get(second, 0)
+            for second in range(int(math.ceil(t0)), int(t1))
+        ]

@@ -1,0 +1,138 @@
+"""Video streaming over TCP with rebuffer accounting (Table 4).
+
+The paper streams a 720p HD video from a local server via FTP/VLC with a
+1 500 ms pre-buffer, and reports the *rebuffer ratio*: the fraction of the
+transit time the player spends stalled.  :class:`VideoStreamingSession`
+models the player side: bytes arrive through a TCP flow, playback consumes
+them at the video bitrate once the pre-buffer fills, and stalls are
+accumulated whenever the buffer runs dry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+
+__all__ = ["VideoParams", "VideoStreamingSession"]
+
+
+@dataclass
+class VideoParams:
+    """Playback model parameters.
+
+    ``bitrate_mbps`` is the steady-state media rate of the 1280x720
+    stream (4 Mbit/s is a standard 720p30 encode);
+    ``prebuffer_s`` matches the paper's 1 500 ms setting.
+    """
+
+    bitrate_mbps: float = 4.0
+    prebuffer_s: float = 1.5
+    #: Playback resumes after a stall once this much media is buffered.
+    rebuffer_restart_s: float = 1.0
+
+
+class VideoStreamingSession:
+    """Client-side playback buffer fed by a transport flow.
+
+    Drive it by calling :meth:`on_bytes` from the TCP receiver's
+    ``on_bytes`` hook; playback state advances lazily on every call plus
+    via fine-grained polling of the simulator clock at :meth:`finish`.
+    """
+
+    def __init__(self, sim: Simulator, params: Optional[VideoParams] = None):
+        self.sim = sim
+        self.params = params or VideoParams()
+        self._bytes_per_s = self.params.bitrate_mbps * 1e6 / 8.0
+        self._t0 = sim.now  # session start, for never-started accounting
+        self.received_bytes = 0
+        self.played_s = 0.0
+        self.stalled_s = 0.0
+        self.stall_events = 0
+        self._state = "prebuffering"  # -> playing | stalled | done
+        self._last_update: Optional[float] = None
+        self.stall_log: List[Tuple[float, float]] = []  # (start, duration)
+        self._stall_started: Optional[float] = None
+
+    # ------------------------------------------------------------------ feed
+    def on_bytes(self, total_bytes: int, t: float) -> None:
+        """TCP receiver progress callback (cumulative in-order bytes)."""
+        self._advance(t)
+        self.received_bytes = total_bytes
+        self._maybe_transition(t)
+
+    # ------------------------------------------------------------- mechanics
+    def buffered_media_s(self) -> float:
+        """Seconds of media in the buffer right now."""
+        return self.received_bytes / self._bytes_per_s - self.played_s
+
+    def _advance(self, t: float) -> None:
+        """Consume buffered media between the last update and ``t``."""
+        if self._last_update is None:
+            self._last_update = t
+            return
+        dt = max(0.0, t - self._last_update)
+        self._last_update = t
+        if self._state != "playing" or dt == 0.0:
+            if self._state == "stalled":
+                pass  # stall time accounted on resume/finish
+            return
+        playable = self.buffered_media_s()
+        if dt <= playable:
+            self.played_s += dt
+        else:
+            # Buffer ran dry partway through the interval: stall begins.
+            self.played_s += max(0.0, playable)
+            stall_start = t - (dt - max(0.0, playable))
+            self._begin_stall(stall_start)
+
+    def _begin_stall(self, t: float) -> None:
+        if self._state == "stalled":
+            return
+        self._state = "stalled"
+        self._stall_started = t
+        self.stall_events += 1
+
+    def _end_stall(self, t: float) -> None:
+        assert self._stall_started is not None
+        duration = max(0.0, t - self._stall_started)
+        self.stalled_s += duration
+        self.stall_log.append((self._stall_started, duration))
+        self._stall_started = None
+        self._state = "playing"
+
+    def _maybe_transition(self, t: float) -> None:
+        if self._state == "prebuffering":
+            if self.buffered_media_s() >= self.params.prebuffer_s:
+                self._state = "playing"
+        elif self._state == "stalled":
+            if self.buffered_media_s() >= self.params.rebuffer_restart_s:
+                self._end_stall(t)
+
+    # ---------------------------------------------------------------- report
+    def finish(self, t: float) -> None:
+        """Close the session at time ``t`` (end of the transit)."""
+        self._advance(t)
+        if self._state == "stalled" and self._stall_started is not None:
+            duration = max(0.0, t - self._stall_started)
+            self.stalled_s += duration
+            self.stall_log.append((self._stall_started, duration))
+            self._stall_started = None
+        elif self._state == "prebuffering":
+            # The stream never (re)started: everything beyond the nominal
+            # pre-buffer wait was spent staring at the spinner.  Without
+            # this, a connection that dies before the pre-buffer fills
+            # would score a perfect 0 -- the worst experience of all.
+            waited = max(0.0, t - self._t0 - self.params.prebuffer_s)
+            if waited > 0.0:
+                self.stalled_s += waited
+                self.stall_events += 1
+                self.stall_log.append((self._t0 + self.params.prebuffer_s, waited))
+        self._state = "done"
+
+    def rebuffer_ratio(self, transit_duration_s: float) -> float:
+        """Stalled time over the transit duration (the paper's metric)."""
+        if transit_duration_s <= 0:
+            return 0.0
+        return min(1.0, self.stalled_s / transit_duration_s)

@@ -1,0 +1,73 @@
+"""WGTT core: the paper's contribution.
+
+AP selection (max-median ESNR over a sliding window), the stop/start/ack
+switching protocol with cross-AP queue management, cyclic downlink queues,
+block-ACK forwarding, uplink de-duplication, association sharing -- plus
+the Enhanced 802.11r baseline the paper compares against.
+"""
+
+from .ap import ApParams, ApRadio, BaseAp, ClientPipeline, WgttAp
+from .ap_selection import ApSelector, EsnrWindow, median
+from .association import AssociationRecord, AssociationTable, pre_associate
+from .baseline import (
+    BaselineAp,
+    BaselineController,
+    BaselinePolicyParams,
+    Enhanced80211rPolicy,
+    baseline_ap_params,
+)
+from .client import ClientParams, ClientRadio, MobileClient, RoamingPolicy
+from .controller import ClientState, ControllerParams, WgttController
+from .cyclic_queue import INDEX_BITS, INDEX_MODULO, CyclicQueue, ring_distance
+from .dedup import Deduplicator
+from .messages import (
+    AssocNotify,
+    AssocSync,
+    BaForward,
+    CsiReport,
+    ServingUpdate,
+    StartMsg,
+    StopMsg,
+    SwitchAck,
+    ctrl_packet,
+)
+
+__all__ = [
+    "ApParams",
+    "ApRadio",
+    "BaseAp",
+    "ClientPipeline",
+    "WgttAp",
+    "ApSelector",
+    "EsnrWindow",
+    "median",
+    "AssociationRecord",
+    "AssociationTable",
+    "pre_associate",
+    "BaselineAp",
+    "BaselineController",
+    "BaselinePolicyParams",
+    "Enhanced80211rPolicy",
+    "baseline_ap_params",
+    "ClientParams",
+    "ClientRadio",
+    "MobileClient",
+    "RoamingPolicy",
+    "ClientState",
+    "ControllerParams",
+    "WgttController",
+    "INDEX_BITS",
+    "INDEX_MODULO",
+    "CyclicQueue",
+    "ring_distance",
+    "Deduplicator",
+    "AssocNotify",
+    "AssocSync",
+    "BaForward",
+    "CsiReport",
+    "ServingUpdate",
+    "StartMsg",
+    "StopMsg",
+    "SwitchAck",
+    "ctrl_packet",
+]

@@ -1,0 +1,142 @@
+"""WGTT AP selection (section 3.1.1).
+
+The controller keeps, per client and per AP, a sliding window of the ESNR
+values computed from that AP's CSI reports.  The selected AP is the one
+whose *median* windowed ESNR is highest -- the median resists the deep
+instantaneous fades that make single-sample selection thrash.  A time
+hysteresis bounds the switching rate (evaluated in Fig. 22).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["EsnrWindow", "ApSelector", "median"]
+
+
+def median(values: List[float]) -> float:
+    """Median as the paper defines it: element floor(L/2) of the sorted list."""
+    if not values:
+        raise ValueError("median of empty window")
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+class EsnrWindow:
+    """Sliding time window of (time, esnr) readings for one client-AP link.
+
+    CSI readings only exist when the client transmits, so with sparse
+    traffic a strict W-second window is frequently empty and selection
+    degenerates to "whoever reported last".  The window therefore retains
+    the most recent ``min_keep`` readings even when they are older than W,
+    up to a hard staleness cap ``max_age_s`` (an AP that has not decoded
+    the client for that long is genuinely out of range).
+    """
+
+    def __init__(self, window_s: float, min_keep: int = 3, max_age_s: float = 0.25):
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        self.window_s = window_s
+        self.min_keep = min_keep
+        self.max_age_s = max(max_age_s, window_s)
+        self._readings: Deque[Tuple[float, float]] = deque()
+
+    def add(self, t: float, esnr_db: float) -> None:
+        self._readings.append((t, esnr_db))
+        self.purge(t)
+
+    def purge(self, now: float) -> None:
+        hard_cutoff = now - self.max_age_s
+        while self._readings and self._readings[0][0] < hard_cutoff:
+            self._readings.popleft()
+        cutoff = now - self.window_s
+        while (
+            len(self._readings) > self.min_keep
+            and self._readings[0][0] < cutoff
+        ):
+            self._readings.popleft()
+
+    def values(self, now: float) -> List[float]:
+        self.purge(now)
+        return [e for (_t, e) in self._readings]
+
+    def median(self, now: float) -> Optional[float]:
+        values = self.values(now)
+        if not values:
+            return None
+        return median(values)
+
+    def __len__(self) -> int:
+        return len(self._readings)
+
+
+class ApSelector:
+    """Max-median ESNR selection over per-AP sliding windows.
+
+    Parameters
+    ----------
+    window_s:
+        Sliding-window length W.  The paper's microbenchmark (Fig. 21)
+        finds 10 ms optimal at driving speeds.
+    min_readings:
+        Minimum window occupancy before an AP is considered a candidate;
+        guards against electing an AP on a single lucky fade.
+    metric:
+        ``"median"`` (the paper), ``"mean"`` or ``"max"`` (ablations).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 0.010,
+        min_readings: int = 2,
+        metric: str = "median",
+    ):
+        if metric not in ("median", "mean", "max"):
+            raise ValueError(f"unknown selection metric {metric!r}")
+        self.window_s = window_s
+        self.min_readings = min_readings
+        self.metric = metric
+        self._windows: Dict[int, EsnrWindow] = {}
+
+    def update(self, ap_id: int, t: float, esnr_db: float) -> None:
+        window = self._windows.get(ap_id)
+        if window is None:
+            window = EsnrWindow(self.window_s)
+            self._windows[ap_id] = window
+        window.add(t, esnr_db)
+
+    def _score(self, values: List[float]) -> float:
+        if self.metric == "median":
+            return median(values)
+        if self.metric == "mean":
+            return sum(values) / len(values)
+        return max(values)
+
+    def candidates(self, now: float) -> Dict[int, float]:
+        """APs with enough fresh readings, mapped to their window score."""
+        out: Dict[int, float] = {}
+        for ap_id, window in self._windows.items():
+            values = window.values(now)
+            if len(values) >= self.min_readings:
+                out[ap_id] = self._score(values)
+        return out
+
+    def in_range_aps(self, now: float) -> List[int]:
+        """APs that heard the client within the window (any reading).
+
+        This is the multicast set for downlink packet placement: footnote 1
+        of the paper defines 'within communication range' exactly this way.
+        """
+        return [
+            ap_id
+            for ap_id, window in self._windows.items()
+            if window.values(now)
+        ]
+
+    def best_ap(self, now: float) -> Optional[int]:
+        """The argmax-score AP, or None when no AP qualifies."""
+        candidates = self.candidates(now)
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]

@@ -1,0 +1,68 @@
+"""Client association state and the WGTT association-sharing flow (§4.3).
+
+All WGTT APs share one BSSID, so a client associates once; the first AP
+then replicates the ``sta_info`` to its peers over the backhaul (the
+hostapd modification of Fig. 12).  :func:`pre_associate` performs the
+whole flow instantaneously for experiments that begin with an
+already-associated client, mirroring the paper's methodology (drivers
+associate before entering the AP array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ap import WgttAp
+from .client import MobileClient
+
+__all__ = ["AssociationRecord", "AssociationTable", "pre_associate"]
+
+
+@dataclass
+class AssociationRecord:
+    """The subset of hostapd's sta_info that must be replicated."""
+
+    client: int
+    aid: int
+    authorized: bool = True
+    capabilities: Dict[str, bool] = field(
+        default_factory=lambda: {"ht": True, "ampdu": True}
+    )
+
+
+class AssociationTable:
+    """Per-AP view of associated stations."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, AssociationRecord] = {}
+
+    def add(self, record: AssociationRecord) -> None:
+        self._records[record.client] = record
+
+    def remove(self, client: int) -> Optional[AssociationRecord]:
+        return self._records.pop(client, None)
+
+    def is_associated(self, client: int) -> bool:
+        return client in self._records
+
+    def get(self, client: int) -> Optional[AssociationRecord]:
+        return self._records.get(client)
+
+    def clients(self) -> List[int]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def pre_associate(client: MobileClient, aps: List[WgttAp], bssid: int) -> None:
+    """Install a completed association at the client and every AP.
+
+    Equivalent to the over-the-air handshake plus the backhaul sta_info
+    replication having already completed, which is the state every WGTT
+    experiment in the paper starts from.
+    """
+    for ap in aps:
+        ap.add_client(client.node_id)
+    client.set_association(bssid, t=client.sim.now)

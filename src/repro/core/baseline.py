@@ -1,0 +1,324 @@
+"""The Enhanced 802.11r comparison scheme (section 5.1 of the paper).
+
+A performance-tuned 802.11r/802.11k baseline:
+
+1. every AP beacons each 100 ms; the client measures per-AP RSSI;
+2. the client switches to the strongest AP once the current AP's RSSI
+   falls below a threshold, with a one-second time hysteresis;
+3. authentication/association state is shared across APs through the
+   controller, so reassociation is a single over-the-air exchange.
+
+Unlike WGTT, each AP advertises its own BSSID, downlink traffic flows
+only through the associated AP, and only that AP receives (and forwards)
+uplink traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..mac.frames import MgmtFrame
+from ..net.packet import Packet
+from ..sim.engine import EventHandle, Simulator
+from .ap import ApParams, BaseAp
+from .client import MobileClient, RoamingPolicy
+from .controller import UplinkHandler
+from .dedup import Deduplicator
+from .messages import AssocNotify, FtRequest, ctrl_packet
+
+__all__ = [
+    "BaselineAp",
+    "BaselineController",
+    "Enhanced80211rPolicy",
+    "BaselinePolicyParams",
+    "baseline_ap_params",
+]
+
+
+def baseline_ap_params(**overrides) -> ApParams:
+    """AP parameters for the baseline: beaconing on, no BA forwarding."""
+    defaults = dict(
+        beacon_interval_s=0.100,
+        ba_forwarding=False,
+        driver_queue_capacity=300,
+    )
+    defaults.update(overrides)
+    return ApParams(**defaults)
+
+
+class BaselineAp(BaseAp):
+    """An 802.11r AP: its own BSSID, plain FIFO queues, assoc forwarding."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("monitor", False)
+        super().__init__(*args, **kwargs)
+        #: Clients currently associated with *this* AP.
+        self.associated: set = set()
+
+    # ------------------------------------------------------------- downlink
+    def handle_downlink_data(self, packet: Packet, src: int) -> None:
+        packet.decapsulate()
+        client = packet.dst
+        pipe = self.pipelines.get(client)
+        if pipe is None:
+            pipe = self.add_client(client)
+        if client not in self.associated:
+            return  # stale routing: drop, like a real AP without the STA
+        pipe.driver.enqueue(packet)
+        self._refill(client)
+        self.radio.kick()
+
+    # -------------------------------------------------------------- control
+    def handle_ctrl(self, msg, src: int) -> None:
+        if isinstance(msg, AssocNotify):
+            if msg.ap != self.node_id and msg.client in self.associated:
+                # The client moved to another AP: drop it and flush.
+                self.associated.discard(msg.client)
+                self._flush_client(msg.client)
+        elif isinstance(msg, FtRequest):
+            # Over-the-DS fast transition: the old AP relayed the client's
+            # FT request; install the association and answer over the air.
+            self._accept_association(msg.client, self.sim.now)
+
+    def _flush_client(self, client: int) -> None:
+        pipe = self.pipelines.get(client)
+        if pipe is not None:
+            pipe.driver.drain()
+            pipe.hw.drain()
+            pipe.serving = False
+        self.radio.reset_peer(client)
+
+    # ---------------------------------------------------------- association
+    def on_mgmt(self, frame: MgmtFrame, src: int, t: float) -> None:
+        if frame.dst != self.node_id:
+            return
+        if frame.kind == "ft_request":
+            # 802.11r over-the-DS: the client asks its *current* AP to set
+            # up a transition to ``target``; the request rides the backhaul.
+            target = frame.info.get("target")
+            if target is not None and src in self.associated:
+                self.send_ctrl(target, FtRequest(client=src))
+        elif frame.kind == "assoc_req":
+            # Fresh over-the-air association (initial join, or re-scan
+            # after a failed handover).  Auth state is pre-shared.
+            self._accept_association(src, t)
+
+    def _accept_association(self, client: int, t: float) -> None:
+        self.associated.add(client)
+        pipe = self.add_client(client)
+        pipe.serving = True
+        self.radio.send_mgmt(
+            MgmtFrame(src=self.node_id, dst=client, kind="assoc_resp")
+        )
+        self.send_ctrl(self.controller_id, AssocNotify(client=client, ap=self.node_id))
+        self.trace.emit(t, "baseline_assoc", ap=self.node_id, client=client)
+
+
+class BaselineController:
+    """Routes downlink traffic to whichever AP each client is associated with."""
+
+    def __init__(self, sim, backhaul, node_id: int, rng, trace=None, **_ignored):
+        from ..sim.trace import TraceRecorder
+
+        self.sim = sim
+        self.backhaul = backhaul
+        self.node_id = node_id
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder(keep_kinds=set())
+        self.assoc_map: Dict[int, int] = {}
+        self.dedup = Deduplicator()
+        self._uplink_handlers: Dict[int, UplinkHandler] = {}
+        self._uplink_default: Optional[UplinkHandler] = None
+        self.no_route_drops = 0
+        backhaul.register(node_id, self.on_backhaul)
+
+    def register_uplink_handler(self, flow_id: int, handler: UplinkHandler) -> None:
+        self._uplink_handlers[flow_id] = handler
+
+    def set_default_uplink_handler(self, handler: UplinkHandler) -> None:
+        self._uplink_default = handler
+
+    def send_downlink(self, packet: Packet) -> None:
+        ap_id = self.assoc_map.get(packet.dst)
+        if ap_id is None:
+            self.no_route_drops += 1
+            self.trace.emit(self.sim.now, "dl_no_coverage", client=packet.dst)
+            return
+        packet.encapsulate(self.node_id, ap_id)
+        self.backhaul.send(self.node_id, ap_id, packet)
+
+    def on_backhaul(self, packet: Packet, src: int) -> None:
+        if packet.protocol == "ctrl":
+            msg = packet.payload
+            if isinstance(msg, AssocNotify) and msg.ap is not None:
+                old = self.assoc_map.get(msg.client)
+                self.assoc_map[msg.client] = msg.ap
+                self.trace.emit(self.sim.now, "ap_switch", client=msg.client,
+                                ap=msg.ap)
+                if old is not None and old != msg.ap:
+                    # Tell the old AP to flush the client's queues.
+                    self.backhaul.send(
+                        self.node_id, old,
+                        ctrl_packet(self.node_id, old, msg, self.sim.now),
+                    )
+            return
+        packet.decapsulate()
+        if not self.dedup.accept(packet):
+            return
+        t = self.sim.now
+        self.trace.emit(t, "ul_delivered", client=packet.src, flow=packet.flow_id,
+                        seq=packet.seq, via_ap=src, bytes=packet.size_bytes)
+        handler = self._uplink_handlers.get(packet.flow_id, self._uplink_default)
+        if handler is not None:
+            handler(packet, t)
+
+    def serving_ap(self, client: int) -> Optional[int]:
+        return self.assoc_map.get(client)
+
+
+@dataclass
+class BaselinePolicyParams:
+    """Client-side roaming knobs for Enhanced 802.11r.
+
+    ``rssi_threshold_db`` is the switch trigger of scheme rule (2);
+    ``hysteresis_s`` is its one-second time hysteresis.  RSSI here is in
+    SNR-referenced dB (receiver noise floor subtracted).
+    """
+
+    rssi_threshold_db: float = 5.0
+    margin_db: float = 3.0
+    hysteresis_s: float = 1.0
+    ewma_weight: float = 0.7
+    #: RSSI entries older than this are considered stale (AP out of range).
+    stale_after_s: float = 0.35
+    reassoc_timeout_s: float = 0.05
+    max_reassoc_retries: int = 8
+    #: Minimum RSSI to attempt a fresh association when unassociated.
+    assoc_floor_db: float = 8.0
+    #: Time spent scanning before a fresh association after the client has
+    #: lost its AP entirely (channel dwell across the 2.4 GHz band).
+    rescan_delay_s: float = 1.0
+
+
+class Enhanced80211rPolicy(RoamingPolicy):
+    """Beacon-driven RSSI-threshold handover with one-second hysteresis."""
+
+    def __init__(self, params: Optional[BaselinePolicyParams] = None):
+        self.params = params or BaselinePolicyParams()
+        self._rssi: Dict[int, float] = {}
+        self._rssi_time: Dict[int, float] = {}
+        self._last_switch = -1e9
+        self._target: Optional[int] = None
+        self._retries = 0
+        self._timer: Optional[EventHandle] = None
+        self._scan_until = -1e9
+        self.handover_attempts = 0
+        self.handover_failures = 0
+
+    # -------------------------------------------------------------- tracking
+    def on_beacon(self, ap_id: int, rssi_db: float, t: float) -> None:
+        w = self.params.ewma_weight
+        if ap_id in self._rssi and t - self._rssi_time[ap_id] < 1.0:
+            self._rssi[ap_id] = w * self._rssi[ap_id] + (1 - w) * rssi_db
+        else:
+            self._rssi[ap_id] = rssi_db
+        self._rssi_time[ap_id] = t
+        self._decide(t)
+
+    def _fresh_rssi(self, t: float) -> Dict[int, float]:
+        cutoff = t - self.params.stale_after_s
+        return {
+            ap: rssi
+            for ap, rssi in self._rssi.items()
+            if self._rssi_time[ap] >= cutoff
+        }
+
+    def _decide(self, t: float) -> None:
+        if self._target is not None:
+            return  # reassociation already in progress
+        if t < self._scan_until:
+            return  # still scanning after losing the previous AP
+        fresh = self._fresh_rssi(t)
+        if not fresh:
+            return
+        best_ap, best_rssi = max(fresh.items(), key=lambda kv: kv[1])
+        client = self.client
+        if not client.associated:
+            if best_rssi >= self.params.assoc_floor_db:
+                self._start_reassoc(best_ap, t)
+            return
+        current = client.current_bssid
+        current_rssi = fresh.get(current)
+        if current_rssi is None:
+            # Haven't heard the current AP lately: it is effectively gone.
+            current_rssi = -100.0
+        if current_rssi >= self.params.rssi_threshold_db:
+            return  # rule (2): only switch when the current link degrades
+        if best_ap == current:
+            return
+        if best_rssi < current_rssi + self.params.margin_db:
+            return
+        if t - self._last_switch < self.params.hysteresis_s:
+            return  # one-second time hysteresis
+        self._start_reassoc(best_ap, t)
+
+    # ---------------------------------------------------------- reassociation
+    def _start_reassoc(self, ap_id: int, t: float) -> None:
+        self._target = ap_id
+        self._retries = 0
+        self.handover_attempts += 1
+        self._send_reassoc()
+
+    def _send_reassoc(self) -> None:
+        client = self.client
+        if client.associated:
+            # Over-the-DS fast transition: the FT request travels over the
+            # *current* (possibly dying) link; the current AP relays it to
+            # the target over the backhaul.
+            client.radio.send_mgmt(
+                MgmtFrame(
+                    src=client.node_id,
+                    dst=client.current_bssid,
+                    kind="ft_request",
+                    info={"target": self._target},
+                )
+            )
+        else:
+            client.radio.send_mgmt(
+                MgmtFrame(src=client.node_id, dst=self._target, kind="assoc_req")
+            )
+        self._timer = client.sim.schedule(
+            self.params.reassoc_timeout_s, self._reassoc_timeout
+        )
+
+    def _reassoc_timeout(self) -> None:
+        if self._target is None:
+            return
+        self._retries += 1
+        if self._retries > self.params.max_reassoc_retries:
+            # Handover failed (the Fig. 4(a) case): the FT request could
+            # not get through the dying old link.  The client loses the
+            # association and must re-scan from scratch.
+            self.handover_failures += 1
+            now = self.client.sim.now
+            self.client.trace.emit(
+                now, "handover_failed",
+                client=self.client.node_id, target=self._target,
+            )
+            self._target = None
+            if self.client.associated:
+                self.client.set_association(None)
+                self._scan_until = now + self.params.rescan_delay_s
+            return
+        self._send_reassoc()
+
+    def on_mgmt(self, frame: MgmtFrame, src: int, t: float) -> None:
+        if frame.kind != "assoc_resp" or src != self._target:
+            return
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._target = None
+        self._last_switch = t
+        self.client.set_association(src, t)

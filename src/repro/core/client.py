@@ -1,0 +1,203 @@
+"""The mobile (vehicular) client.
+
+A :class:`MobileClient` owns a :class:`ClientRadio`, an uplink queue, and
+the application flow endpoints.  Roaming behaviour is pluggable: under
+WGTT the client does nothing special (all APs present one BSSID and the
+network switches for it); under the Enhanced 802.11r baseline a
+:class:`repro.core.baseline.Enhanced80211rPolicy` drives beacon-based
+reassociation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mac.frames import Beacon, MgmtFrame
+from ..mac.medium import Medium
+from ..mac.radio import Radio
+from ..mobility.trajectory import Trajectory
+from ..net.packet import Packet
+from ..net.queues import DropTailQueue
+from ..sim.engine import Simulator
+from ..sim.trace import TraceRecorder
+
+__all__ = ["ClientParams", "ClientRadio", "MobileClient", "RoamingPolicy"]
+
+
+@dataclass
+class ClientParams:
+    uplink_queue_capacity: int = 200
+    #: Interval of null-data keepalives that give the APs CSI even when the
+    #: client has no uplink data in flight.  None disables probing.
+    probe_interval_s: Optional[float] = 0.02
+    tx_power_dbm: float = 15.0
+
+
+class RoamingPolicy:
+    """Interface for client-side roaming logic (baseline only)."""
+
+    def attach(self, client: "MobileClient") -> None:
+        self.client = client
+
+    def on_beacon(self, ap_id: int, rssi_db: float, t: float) -> None:
+        pass
+
+    def on_mgmt(self, frame: MgmtFrame, src: int, t: float) -> None:
+        pass
+
+
+class ClientRadio(Radio):
+    """Client-side MAC: one uplink FIFO towards the current BSSID."""
+
+    def __init__(self, owner: "MobileClient", **kwargs):
+        self.owner = owner
+        super().__init__(**kwargs)
+
+    def _select_peer(self) -> Optional[int]:
+        if self.owner.current_bssid is None:
+            return None
+        if len(self.owner.uplink_queue) == 0:
+            return None
+        return self.owner.current_bssid
+
+    def _pull_packets(self, peer_id: int, max_n: int) -> List[Packet]:
+        out = []
+        for _ in range(max_n):
+            packet = self.owner.uplink_queue.dequeue()
+            if packet is None:
+                break
+            out.append(packet)
+        return out
+
+    def _unpull_packet(self, peer_id: int, packet: Packet) -> None:
+        self.owner.uplink_queue.requeue_front(packet)
+
+    def _deliver(self, packet: Packet, src: int, t: float) -> None:
+        self.owner.on_downlink(packet, src, t)
+
+    def on_beacon(self, beacon: Beacon, src: int, t: float) -> None:
+        self.owner.on_beacon_received(beacon, src, t)
+
+    def on_mgmt(self, frame: MgmtFrame, src: int, t: float) -> None:
+        if frame.dst == self.node_id:
+            self.owner.on_mgmt(frame, src, t)
+
+
+class MobileClient:
+    """A vehicular client device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: int,
+        trajectory: Trajectory,
+        rng: np.random.Generator,
+        trace: Optional[TraceRecorder] = None,
+        params: Optional[ClientParams] = None,
+        policy: Optional[RoamingPolicy] = None,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.trajectory = trajectory
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder(keep_kinds=set())
+        self.params = params or ClientParams()
+        self.uplink_queue: DropTailQueue = DropTailQueue(
+            self.params.uplink_queue_capacity, name=f"client{node_id}-ul"
+        )
+        self.radio = ClientRadio(
+            owner=self,
+            sim=sim,
+            medium=medium,
+            node_id=node_id,
+            rng=rng,
+            is_ap=False,
+            position_fn=trajectory.position,
+            trace=self.trace,
+            tx_power_dbm=self.params.tx_power_dbm,
+        )
+        #: BSSID the client is associated with (None = unassociated).
+        self.current_bssid: Optional[int] = None
+        self.flow_handlers: Dict[int, Callable[[Packet, float], None]] = {}
+        self.policy = policy
+        if policy is not None:
+            policy.attach(self)
+        self.downlink_received = 0
+        self.uplink_enqueued = 0
+        self.uplink_dropped = 0
+        self.association_changes: List[Tuple[float, Optional[int]]] = []
+        if self.params.probe_interval_s:
+            sim.schedule(
+                float(rng.uniform(0.0, self.params.probe_interval_s)),
+                self._probe_tick,
+            )
+
+    # ------------------------------------------------------------ data plane
+    def register_flow(self, flow_id: int, handler: Callable[[Packet, float], None]) -> None:
+        self.flow_handlers[flow_id] = handler
+
+    def uplink_send(self, packet: Packet) -> None:
+        """Application entry point for uplink traffic."""
+        self.uplink_enqueued += 1
+        if not self.uplink_queue.enqueue(packet):
+            self.uplink_dropped += 1
+            return
+        self.radio.kick()
+
+    def on_downlink(self, packet: Packet, src_ap: int, t: float) -> None:
+        self.downlink_received += 1
+        self.trace.emit(
+            t, "dl_delivered",
+            client=self.node_id, flow=packet.flow_id, seq=packet.seq,
+            ap=src_ap, bytes=packet.size_bytes, protocol=packet.protocol,
+        )
+        handler = self.flow_handlers.get(packet.flow_id)
+        if handler is not None:
+            handler(packet, t)
+
+    # ----------------------------------------------------------- association
+    def set_association(self, bssid: Optional[int], t: Optional[float] = None) -> None:
+        """Change (or drop) the association; resets MAC state to the old AP."""
+        old = self.current_bssid
+        if old is not None and old != bssid:
+            self.radio.reset_peer(old)
+        self.current_bssid = bssid
+        when = t if t is not None else self.sim.now
+        self.association_changes.append((when, bssid))
+        self.trace.emit(when, "client_assoc", client=self.node_id, bssid=bssid)
+        if bssid is not None:
+            self.radio.kick()
+
+    @property
+    def associated(self) -> bool:
+        return self.current_bssid is not None
+
+    def on_beacon_received(self, beacon: Beacon, src: int, t: float) -> None:
+        pair = self.medium.link_between(src, self.node_id)
+        if pair is None:
+            return
+        link, _ = pair
+        rssi = link.rssi_db(t)
+        self.trace.emit(t, "beacon_rx", client=self.node_id, ap=src, rssi=rssi)
+        if self.policy is not None:
+            self.policy.on_beacon(src, rssi, t)
+
+    def on_mgmt(self, frame: MgmtFrame, src: int, t: float) -> None:
+        if self.policy is not None:
+            self.policy.on_mgmt(frame, src, t)
+
+    # ---------------------------------------------------------------- probes
+    def _probe_tick(self) -> None:
+        if self.associated:
+            self.radio.send_mgmt(
+                MgmtFrame(src=self.node_id, dst=self.current_bssid, kind="null")
+            )
+        self.sim.schedule(self.params.probe_interval_s, self._probe_tick)
+
+    def position(self, t: float):
+        return self.trajectory.position(t)

@@ -1,0 +1,280 @@
+"""The WGTT controller (control plane of Fig. 5).
+
+One machine on the Ethernet backhaul that
+
+* consumes per-frame CSI reports from every AP, maintains the sliding
+  ESNR windows, and runs the max-median AP selection algorithm;
+* forwards every downlink packet, tagged with its 12-bit index number,
+  to every AP within communication range of the client;
+* runs the stop/start/ack switching protocol with the 30 ms
+  retransmission timeout (one outstanding switch per client);
+* de-duplicates uplink packets tunneled up by the APs and hands them to
+  the server-side flow endpoints.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..net.ethernet import Backhaul
+from ..net.packet import Packet
+from ..sim.engine import EventHandle, Simulator
+from ..sim.trace import TraceRecorder
+from .ap_selection import ApSelector
+from .cyclic_queue import INDEX_MODULO
+from .dedup import Deduplicator
+from .messages import (
+    CsiReport,
+    ServingUpdate,
+    StartMsg,
+    StopMsg,
+    SwitchAck,
+    ctrl_packet,
+)
+
+__all__ = ["ControllerParams", "WgttController", "ClientState"]
+
+UplinkHandler = Callable[[Packet, float], None]
+
+
+@dataclass
+class ControllerParams:
+    """Control-plane tuning knobs.
+
+    ``selection_window_s`` is W of section 3.1.1 (Fig. 21 finds 10 ms
+    optimal); ``hysteresis_s`` is the switching time hysteresis swept in
+    Fig. 22; ``ack_timeout_s`` is the stop/start retransmission timeout of
+    section 3.1.2 (30 ms in the paper).
+    """
+
+    selection_window_s: float = 0.010
+    hysteresis_s: float = 0.050
+    ack_timeout_s: float = 0.030
+    min_readings: int = 1
+    selection_metric: str = "median"
+    max_switch_attempts: int = 10
+
+
+@dataclass
+class ClientState:
+    selector: ApSelector
+    next_index: int = 0
+    serving_ap: Optional[int] = None
+    last_switch_time: float = -1e9
+    #: (old_ap, new_ap, attempt, timer) while a switch is outstanding.
+    switching: Optional[tuple] = None
+    switch_count: int = 0
+    no_coverage_drops: int = 0
+    downlink_packets: int = 0
+
+
+class WgttController:
+    """Central WGTT controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backhaul: Backhaul,
+        node_id: int,
+        rng: np.random.Generator,
+        trace: Optional[TraceRecorder] = None,
+        params: Optional[ControllerParams] = None,
+    ):
+        self.sim = sim
+        self.backhaul = backhaul
+        self.node_id = node_id
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder(keep_kinds=set())
+        self.params = params or ControllerParams()
+        self.clients: Dict[int, ClientState] = {}
+        self.ap_ids: List[int] = []
+        self.dedup = Deduplicator()
+        self._uplink_handlers: Dict[int, UplinkHandler] = {}
+        self._uplink_default: Optional[UplinkHandler] = None
+        backhaul.register(node_id, self.on_backhaul)
+
+    # ----------------------------------------------------------------- setup
+    def add_ap(self, ap_id: int) -> None:
+        if ap_id not in self.ap_ids:
+            self.ap_ids.append(ap_id)
+
+    def add_client(self, client_id: int) -> ClientState:
+        state = self.clients.get(client_id)
+        if state is None:
+            state = ClientState(
+                selector=ApSelector(
+                    window_s=self.params.selection_window_s,
+                    min_readings=self.params.min_readings,
+                    metric=self.params.selection_metric,
+                )
+            )
+            self.clients[client_id] = state
+        return state
+
+    def register_uplink_handler(self, flow_id: int, handler: UplinkHandler) -> None:
+        self._uplink_handlers[flow_id] = handler
+
+    def set_default_uplink_handler(self, handler: UplinkHandler) -> None:
+        self._uplink_default = handler
+
+    # -------------------------------------------------------------- downlink
+    def send_downlink(self, packet: Packet) -> None:
+        """Entry point for server traffic destined to a client.
+
+        Assigns the 12-bit index and multicasts to all in-range APs.  With
+        no AP in range (client outside coverage) the packet is dropped,
+        exactly as a real out-of-coverage client loses traffic.
+        """
+        client = packet.dst
+        state = self.add_client(client)
+        now = self.sim.now
+        targets = state.selector.in_range_aps(now)
+        # The serving AP (and the AP a pending switch is moving to) must
+        # receive every packet even through a momentary CSI gap, or its
+        # ring develops holes.
+        if state.serving_ap is not None and state.serving_ap not in targets:
+            targets.append(state.serving_ap)
+        if state.switching is not None and state.switching[1] not in targets:
+            targets.append(state.switching[1])
+        if not targets:
+            state.no_coverage_drops += 1
+            self.trace.emit(now, "dl_no_coverage", client=client)
+            return
+        packet.wgtt_index = state.next_index
+        state.next_index = (state.next_index + 1) % INDEX_MODULO
+        state.downlink_packets += 1
+        for ap_id in targets:
+            clone = copy.copy(packet)
+            clone.tunnel = []
+            clone.encapsulate(self.node_id, ap_id)
+            self.backhaul.send(self.node_id, ap_id, clone)
+
+    # ---------------------------------------------------------------- uplink
+    def on_backhaul(self, packet: Packet, src: int) -> None:
+        if packet.protocol == "ctrl":
+            self._handle_ctrl(packet.payload, src)
+            return
+        # Tunneled uplink data from an AP.
+        packet.decapsulate()
+        if not self.dedup.accept(packet):
+            return
+        t = self.sim.now
+        self.trace.emit(t, "ul_delivered", client=packet.src, flow=packet.flow_id,
+                        seq=packet.seq, via_ap=src, bytes=packet.size_bytes)
+        handler = self._uplink_handlers.get(packet.flow_id, self._uplink_default)
+        if handler is not None:
+            handler(packet, t)
+
+    # --------------------------------------------------------- control plane
+    def _handle_ctrl(self, msg, src: int) -> None:
+        if isinstance(msg, CsiReport):
+            self._on_csi(msg, src)
+        elif isinstance(msg, SwitchAck):
+            self._on_switch_ack(msg)
+
+    def _on_csi(self, report: CsiReport, src_ap: int) -> None:
+        reading = report.reading
+        state = self.add_client(reading.client_id)
+        t = self.sim.now
+        esnr = reading.esnr_db()
+        state.selector.update(reading.ap_id, reading.time, esnr)
+        self.trace.emit(t, "csi", client=reading.client_id, ap=reading.ap_id,
+                        esnr=esnr)
+        self._evaluate(reading.client_id, state, t)
+
+    def _evaluate(self, client: int, state: ClientState, t: float) -> None:
+        if state.switching is not None:
+            return  # one outstanding switch per client (footnote 2)
+        best = state.selector.best_ap(t)
+        if state.serving_ap is None:
+            # Bootstrap: with nobody serving, any reading is better than
+            # none, so elect on whatever the window holds.
+            if best is None:
+                candidates = state.selector.in_range_aps(t)
+                if not candidates:
+                    return
+                best = candidates[0]
+            self._begin_switch(client, state, old_ap=None, new_ap=best, t=t)
+            return
+        if best is None or best == state.serving_ap:
+            return
+        if t - state.last_switch_time < self.params.hysteresis_s:
+            return
+        self._begin_switch(client, state, old_ap=state.serving_ap, new_ap=best, t=t)
+
+    def _begin_switch(
+        self,
+        client: int,
+        state: ClientState,
+        old_ap: Optional[int],
+        new_ap: int,
+        t: float,
+        attempt: int = 0,
+    ) -> None:
+        timer = self.sim.schedule(
+            self.params.ack_timeout_s,
+            self._switch_timeout,
+            client,
+            attempt,
+        )
+        state.switching = (old_ap, new_ap, attempt, timer)
+        if attempt == 0:
+            self.trace.emit(t, "switch_initiated", client=client,
+                            old=old_ap, new=new_ap)
+            # Tell everyone (including monitors, for BA forwarding) who
+            # will be serving.
+            for ap_id in self.ap_ids:
+                self._send(ap_id, ServingUpdate(client=client, ap=new_ap))
+        if old_ap is None:
+            self._send(new_ap, StartMsg(client=client, index=state.next_index))
+        else:
+            self._send(old_ap, StopMsg(client=client, new_ap=new_ap, attempt=attempt))
+
+    def _switch_timeout(self, client: int, attempt: int) -> None:
+        state = self.clients.get(client)
+        if state is None or state.switching is None:
+            return
+        old_ap, new_ap, current_attempt, _timer = state.switching
+        if current_attempt != attempt:
+            return
+        if attempt + 1 >= self.params.max_switch_attempts:
+            # Give up: fall back to no serving AP; the next CSI report
+            # will elect afresh.
+            state.switching = None
+            state.serving_ap = None
+            self.trace.emit(self.sim.now, "switch_failed", client=client)
+            return
+        self.trace.emit(self.sim.now, "switch_retransmit", client=client,
+                        attempt=attempt + 1)
+        self._begin_switch(
+            client, state, old_ap=old_ap, new_ap=new_ap, t=self.sim.now,
+            attempt=attempt + 1,
+        )
+
+    def _on_switch_ack(self, msg: SwitchAck) -> None:
+        state = self.clients.get(msg.client)
+        if state is None or state.switching is None:
+            return
+        _old, new_ap, _attempt, timer = state.switching
+        if msg.ap != new_ap:
+            return
+        timer.cancel()
+        state.switching = None
+        state.serving_ap = new_ap
+        state.last_switch_time = self.sim.now
+        state.switch_count += 1
+        self.trace.emit(self.sim.now, "ap_switch", client=msg.client, ap=new_ap)
+
+    def _send(self, dst: int, msg) -> None:
+        self.backhaul.send(
+            self.node_id, dst, ctrl_packet(self.node_id, dst, msg, self.sim.now)
+        )
+
+    # ------------------------------------------------------------- inspection
+    def serving_ap(self, client: int) -> Optional[int]:
+        state = self.clients.get(client)
+        return state.serving_ap if state else None

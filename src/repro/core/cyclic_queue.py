@@ -1,0 +1,175 @@
+"""The WGTT per-client cyclic queue (section 3.1.2).
+
+Every AP within range of a client buffers every downlink packet for that
+client in a ring indexed by the controller-assigned *m*-bit index number
+(m = 12, so 4096 slots).  Because all APs hold the same ring contents, a
+switch only has to communicate a single integer -- the index ``k`` of the
+first unsent packet -- for the new AP to resume exactly where the old one
+stopped.
+
+Implementation note: the 12-bit index wraps every 4096 packets, so index
+arithmetic alone cannot distinguish "the reader is waiting for a packet
+that has not arrived" from "the writer lapped the reader".  The backhaul
+is FIFO per (controller, AP) pair, so insertion order *is* controller
+order; the queue therefore keeps the pending indices in an insertion-order
+deque and serves strictly from its head, which is unambiguous across any
+number of wraps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..net.packet import Packet
+
+__all__ = ["CyclicQueue", "INDEX_BITS", "INDEX_MODULO", "ring_distance"]
+
+INDEX_BITS = 12
+INDEX_MODULO = 1 << INDEX_BITS
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Forward distance from index ``a`` to index ``b`` on the ring."""
+    return (b - a) % INDEX_MODULO
+
+
+class CyclicQueue:
+    """Ring buffer of downlink packets, keyed by the WGTT index number.
+
+    Writers (the backhaul receive path) insert packets at their assigned
+    index; the reader (the transmit path, active only at the serving AP)
+    consumes in insertion order from the position set by the last
+    ``start(c, k)``.  Slots are overwritten as the index space wraps,
+    which implicitly discards packets other APs already delivered -- no
+    per-packet invalidation traffic is needed.
+    """
+
+    def __init__(self, size: int = INDEX_MODULO):
+        if size <= 0 or size > INDEX_MODULO:
+            raise ValueError(f"ring size must be in (0, {INDEX_MODULO}], got {size}")
+        self._size = size
+        self._slots: List[Optional[Packet]] = [None] * size
+        #: Indices with a live packet, in insertion (== controller) order.
+        self._pending: Deque[int] = deque()
+        self._newest_index = 0
+        self.inserted = 0
+        self.consumed = 0
+        self.overwritten = 0
+        self.skipped = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def read_index(self) -> int:
+        """Index of the next packet the transmit path will take.
+
+        With nothing pending this is the index one past the newest insert
+        (i.e. where the next packet will logically resume).
+        """
+        self._drop_stale_head()
+        if self._pending:
+            return self._pending[0][0]
+        if self.inserted:
+            return (self._newest_index + 1) % INDEX_MODULO
+        return 0
+
+    def __len__(self) -> int:
+        self._drop_stale_head()
+        return len(self._pending)
+
+    # ---------------------------------------------------------------- writer
+    def insert(self, packet: Packet) -> None:
+        """Store a packet at its controller-assigned index."""
+        if packet.wgtt_index is None:
+            raise ValueError("packet has no WGTT index; controller must assign one")
+        idx = packet.wgtt_index % INDEX_MODULO
+        slot = idx % self._size
+        if self._slots[slot] is not None:
+            self.overwritten += 1
+        self._slots[slot] = packet
+        self._pending.append((idx, packet.uid))
+        self._newest_index = idx
+        self.inserted += 1
+        # Bound the pending list: anything a full ring behind has been
+        # overwritten and can never be served.
+        while len(self._pending) > self._size:
+            self._pending.popleft()
+
+    # ---------------------------------------------------------------- reader
+    def set_read_index(self, index: int) -> None:
+        """Jump the reader (the start(c, k) handler calls this with k).
+
+        Everything inserted before the entry carrying index ``k`` is
+        discarded: the old AP has already delivered (or owned) it.  ``k``
+        is always near the live head of the stream (it is the old AP's
+        current unsent position, at most a switch-latency old), so the
+        live suffix is found by scanning back from the newest insert while
+        entries stay inside the forward half-window of ``k`` -- entries
+        further back are a previous serving stint or a previous index lap.
+        """
+        k = index % INDEX_MODULO
+        entries = list(self._pending)
+        keep_from = len(entries)
+        for pos in range(len(entries) - 1, -1, -1):
+            idx, _uid = entries[pos]
+            if ring_distance(k, idx) < INDEX_MODULO // 2:
+                keep_from = pos
+            else:
+                break
+        for _ in range(keep_from):
+            self._discard_head()
+
+    def _discard_head(self) -> None:
+        head_idx, head_uid = self._pending.popleft()
+        slot = head_idx % self._size
+        packet = self._slots[slot]
+        if packet is not None and packet.uid == head_uid:
+            self._slots[slot] = None
+        self.skipped += 1
+
+    def _drop_stale_head(self) -> None:
+        """Drop pending entries whose slot was overwritten by a newer insert."""
+        while self._pending:
+            head_idx, head_uid = self._pending[0]
+            packet = self._slots[head_idx % self._size]
+            if packet is not None and packet.uid == head_uid:
+                return
+            self._pending.popleft()
+            self.skipped += 1
+
+    def peek(self) -> Optional[Packet]:
+        """The next packet in insertion order, if any."""
+        self._drop_stale_head()
+        if not self._pending:
+            return None
+        return self._slots[self._pending[0][0] % self._size]
+
+    def pop_next(self) -> Optional[Packet]:
+        """Consume the next pending packet (insertion order)."""
+        packet = self.peek()
+        if packet is None:
+            return None
+        head_idx, _uid = self._pending.popleft()
+        self._slots[head_idx % self._size] = None
+        self.consumed += 1
+        return packet
+
+    # ------------------------------------------------------------- inspection
+    def backlog_from(self, index: int, limit: int = INDEX_MODULO) -> int:
+        """How many pending packets sit at or after ``index``."""
+        self._drop_stale_head()
+        count = 0
+        k = index % INDEX_MODULO
+        for idx, _uid in self._pending:
+            if idx == k or ring_distance(k, idx) <= INDEX_MODULO // 2:
+                count += 1
+                if count >= limit:
+                    break
+        return count
+
+    def clear(self) -> None:
+        self._slots = [None] * self._size
+        self._pending.clear()

@@ -1,0 +1,57 @@
+"""Uplink packet de-duplication at the controller (section 3.2.3).
+
+Every AP that decodes an uplink packet tunnels a copy to the controller,
+so the controller must suppress duplicates before forwarding upstream
+(duplicate TCP segments would trigger spurious retransmissions at the
+remote sender).  The paper uses a hash set keyed by a 48-bit value built
+from the source IP address and the IP identification field; we key on
+:meth:`repro.net.packet.Packet.dedup_key`, which is exactly that pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+from ..net.packet import Packet
+
+__all__ = ["Deduplicator"]
+
+
+class Deduplicator:
+    """Bounded-memory duplicate suppressor.
+
+    The IP id field wraps every 65 536 packets per source, so keys are
+    only meaningful for a bounded horizon anyway; we evict in FIFO order
+    once ``capacity`` keys are held.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._seen: Set[int] = set()
+        self._order: Deque[int] = deque()
+        self.accepted = 0
+        self.duplicates = 0
+
+    def accept(self, packet: Packet) -> bool:
+        """True if this packet is new; False if it is a duplicate."""
+        key = packet.dedup_key()
+        if key in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(key)
+        self._order.append(key)
+        if len(self._order) > self.capacity:
+            self._seen.discard(self._order.popleft())
+        self.accepted += 1
+        return True
+
+    @property
+    def duplicate_fraction(self) -> float:
+        total = self.accepted + self.duplicates
+        return self.duplicates / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,131 @@
+"""Control-plane messages carried over the Ethernet backhaul.
+
+Each message type is a small dataclass travelling as the ``payload`` of a
+``protocol="ctrl"`` packet.  Sizes approximate the real encodings (the CSI
+report carries 56 complex subcarrier readings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.packet import Packet
+from ..phy.csi import CSIReading
+
+__all__ = [
+    "StopMsg",
+    "StartMsg",
+    "SwitchAck",
+    "ServingUpdate",
+    "CsiReport",
+    "BaForward",
+    "AssocSync",
+    "FtRequest",
+    "AssocNotify",
+    "ctrl_packet",
+    "CTRL_PACKET_BYTES",
+    "CSI_PACKET_BYTES",
+]
+
+CTRL_PACKET_BYTES = 64
+#: 56 subcarriers x (1B real + 1B imag) + RSSI/metadata, per the CSI tool.
+CSI_PACKET_BYTES = 180
+
+
+@dataclass(frozen=True)
+class StopMsg:
+    """Controller -> old AP: stop serving ``client``; hand over to ``new_ap``."""
+
+    client: int
+    new_ap: int
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class StartMsg:
+    """Old AP -> new AP: begin serving ``client`` from cyclic index ``index``."""
+
+    client: int
+    index: int
+
+
+@dataclass(frozen=True)
+class SwitchAck:
+    """New AP -> controller: the switch for ``client`` took effect."""
+
+    client: int
+    ap: int
+
+
+@dataclass(frozen=True)
+class ServingUpdate:
+    """Controller -> all APs: ``ap`` is now (or will be) serving ``client``.
+
+    Non-serving APs use this to know where to forward overheard block ACKs.
+    """
+
+    client: int
+    ap: Optional[int]
+
+
+@dataclass(frozen=True)
+class CsiReport:
+    """AP -> controller: one CSI measurement of a client uplink frame."""
+
+    reading: CSIReading
+
+
+@dataclass(frozen=True)
+class BaForward:
+    """Monitor AP -> serving AP: an overheard block ACK (section 3.2.1).
+
+    Carries the fields the real system extracts: client address, starting
+    sequence number, and the BA bitmap.
+    """
+
+    client: int
+    start_seq: int
+    bitmap: int
+
+
+@dataclass(frozen=True)
+class AssocSync:
+    """First AP -> all APs: replicate a client's association state."""
+
+    client: int
+    aid: int
+    authorized: bool = True
+
+
+@dataclass(frozen=True)
+class FtRequest:
+    """Old AP -> target AP (baseline): over-the-DS fast-transition request.
+
+    802.11r over-the-DS carries the FT exchange through the *current* AP,
+    which is why handover fails once the current link has died (Fig. 4a).
+    """
+
+    client: int
+
+
+@dataclass(frozen=True)
+class AssocNotify:
+    """AP -> controller (baseline): ``client`` is now associated with ``ap``."""
+
+    client: int
+    ap: Optional[int]
+
+
+def ctrl_packet(src: int, dst: int, payload, t: float, size: Optional[int] = None) -> Packet:
+    """Wrap a control message in a backhaul packet."""
+    if size is None:
+        size = CSI_PACKET_BYTES if isinstance(payload, CsiReport) else CTRL_PACKET_BYTES
+    return Packet(
+        size_bytes=size,
+        src=src,
+        dst=dst,
+        protocol="ctrl",
+        created_at=t,
+        payload=payload,
+    )

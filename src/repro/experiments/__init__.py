@@ -1,0 +1,43 @@
+"""Experiment harness: network builder, metrics, and drive runners."""
+
+from .builder import ExperimentConfig, Network, build_network
+from .metrics import (
+    ServingTimeline,
+    capacity_loss_rate,
+    cdf,
+    mean_throughput_mbps,
+    optimal_ap_series,
+    switching_accuracy,
+    throughput_timeseries,
+)
+from .runners import (
+    DriveResult,
+    attach_tcp_downlink,
+    attach_udp_downlink,
+    attach_udp_uplink,
+    run_single_drive,
+    static_trajectory,
+    tcp_deliveries,
+    udp_deliveries,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "Network",
+    "build_network",
+    "ServingTimeline",
+    "capacity_loss_rate",
+    "cdf",
+    "mean_throughput_mbps",
+    "optimal_ap_series",
+    "switching_accuracy",
+    "throughput_timeseries",
+    "DriveResult",
+    "attach_tcp_downlink",
+    "attach_udp_downlink",
+    "attach_udp_uplink",
+    "run_single_drive",
+    "static_trajectory",
+    "tcp_deliveries",
+    "udp_deliveries",
+]

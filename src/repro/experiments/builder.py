@@ -1,0 +1,210 @@
+"""Network builder: assemble a full testbed (APs, controller, clients).
+
+One call to :func:`build_network` reproduces the deployment of Fig. 9 --
+eight roadside APs with parabolic antennas on a shared Ethernet backhaul,
+a controller, and any number of vehicular clients -- in either WGTT or
+Enhanced-802.11r mode.  Both modes share every substrate (PHY, MAC,
+queues, transport); only the control plane differs, so measured deltas
+isolate the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.ap import ApParams, WgttAp
+from ..core.association import pre_associate
+from ..core.baseline import (
+    BaselineAp,
+    BaselineController,
+    BaselinePolicyParams,
+    Enhanced80211rPolicy,
+    baseline_ap_params,
+)
+from ..core.client import ClientParams, MobileClient
+from ..core.controller import ControllerParams, WgttController
+from ..mac.medium import Medium, MediumParams
+from ..mobility.trajectory import RoadLayout, Trajectory
+from ..net.addressing import NodeIdAllocator
+from ..net.ethernet import Backhaul, BackhaulParams
+from ..net.packet import Packet
+from ..phy.antenna import ParabolicAntenna
+from ..phy.channel import Link, RadioParams
+from ..sim.engine import Simulator
+from ..sim.trace import TraceRecorder
+
+__all__ = ["ExperimentConfig", "Network", "build_network"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one experimental condition."""
+
+    mode: str = "wgtt"  # "wgtt" | "baseline"
+    road: RoadLayout = field(default_factory=RoadLayout)
+    seed: int = 0
+    radio_params: RadioParams = field(default_factory=RadioParams)
+    ap_params: Optional[ApParams] = None
+    controller_params: ControllerParams = field(default_factory=ControllerParams)
+    policy_params: BaselinePolicyParams = field(default_factory=BaselinePolicyParams)
+    medium_params: MediumParams = field(default_factory=MediumParams)
+    backhaul_params: BackhaulParams = field(default_factory=BackhaulParams)
+    client_params: Optional[ClientParams] = None
+    #: One-way latency between the local content server and the controller.
+    server_latency_s: float = 1e-3
+    #: Trace kinds to retain in memory (None = keep everything).
+    trace_kinds: Optional[set] = None
+    #: Per-AP 2.4 GHz channel assignment (None = all on channel 11, the
+    #: testbed setting).  The multi-channel discussion of paper section 7:
+    #: clients stay tuned to channel 11, so APs on other channels cannot
+    #: serve or overhear them.
+    channel_plan: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("wgtt", "baseline"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+class Network:
+    """A built testbed instance."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(config.seed)
+        self.trace = TraceRecorder(keep_kinds=config.trace_kinds)
+        self.medium = Medium(
+            self.sim, np.random.default_rng([config.seed, 1]),
+            trace=self.trace, params=config.medium_params,
+        )
+        self.backhaul = Backhaul(
+            self.sim, np.random.default_rng([config.seed, 2]),
+            params=config.backhaul_params,
+        )
+        self.ids = NodeIdAllocator()
+        self.controller_id = self.ids.allocate("infra")
+        self.server_id = self.ids.allocate("infra")
+        self.bssid = self.ids.allocate("infra")  # shared WGTT BSSID
+        self.road = config.road
+        self.aps: List = []
+        self.clients: List[MobileClient] = []
+        self._client_seq = 0
+
+        if config.mode == "wgtt":
+            self.controller = WgttController(
+                self.sim, self.backhaul, self.controller_id,
+                np.random.default_rng([config.seed, 3]),
+                trace=self.trace, params=config.controller_params,
+            )
+            ap_params = config.ap_params or ApParams()
+        else:
+            self.controller = BaselineController(
+                self.sim, self.backhaul, self.controller_id,
+                np.random.default_rng([config.seed, 3]), trace=self.trace,
+            )
+            ap_params = config.ap_params or baseline_ap_params()
+
+        ap_cls = WgttAp if config.mode == "wgtt" else BaselineAp
+        for i in range(self.road.n_aps):
+            position = self.road.ap_position(i)
+            antenna = ParabolicAntenna.aimed_at(position, self.road.ap_aim_point(i))
+            node_id = self.ids.allocate("ap")
+            ap = ap_cls(
+                self.sim, self.medium, self.backhaul, node_id,
+                self.controller_id, position, antenna,
+                np.random.default_rng([config.seed, 10 + i]),
+                trace=self.trace,
+                bssid=self.bssid if config.mode == "wgtt" else node_id,
+                params=ap_params,
+            )
+            if config.channel_plan is not None:
+                ap.radio.channel = config.channel_plan[i % len(config.channel_plan)]
+            self.aps.append(ap)
+            if config.mode == "wgtt":
+                self.controller.add_ap(node_id)
+
+    # --------------------------------------------------------------- clients
+    def add_client(
+        self,
+        trajectory: Trajectory,
+        params: Optional[ClientParams] = None,
+        pre_associated: Optional[bool] = None,
+    ) -> MobileClient:
+        """Create a client on ``trajectory`` with links to every AP."""
+        config = self.config
+        self._client_seq += 1
+        node_id = self.ids.allocate("client")
+        client_params = params or config.client_params
+        if client_params is None:
+            # Baseline clients do not need CSI keepalives.
+            probe = 0.02 if config.mode == "wgtt" else None
+            client_params = ClientParams(probe_interval_s=probe)
+        policy = None
+        if config.mode == "baseline":
+            policy = Enhanced80211rPolicy(config.policy_params)
+        client = MobileClient(
+            self.sim, self.medium, node_id, trajectory,
+            np.random.default_rng([config.seed, 100 + self._client_seq]),
+            trace=self.trace, params=client_params, policy=policy,
+        )
+        for i, ap in enumerate(self.aps):
+            link = Link(
+                ap_position=self.road.ap_position(i),
+                ap_antenna=ap.radio.antenna,
+                client_position_fn=trajectory.position,
+                speed_mps=trajectory.speed_mps,
+                rng=np.random.default_rng(
+                    [config.seed, 1000 + 100 * self._client_seq + i]
+                ),
+                params=config.radio_params,
+            )
+            self.medium.add_link(ap.node_id, node_id, link)
+        if pre_associated is None:
+            pre_associated = config.mode == "wgtt"
+        if pre_associated and config.mode == "wgtt":
+            pre_associate(client, self.aps, self.bssid)
+            self.controller.add_client(node_id)
+        self.clients.append(client)
+        return client
+
+    # ---------------------------------------------------------------- server
+    def server_send(self, packet: Packet) -> None:
+        """Downlink entry: local content server -> controller."""
+        self.sim.schedule(
+            self.config.server_latency_s, self.controller.send_downlink, packet
+        )
+
+    def deliver_to_server(self, handler: Callable[[Packet, float], None]):
+        """Wrap an uplink handler with the server-side latency."""
+
+        def delayed(packet: Packet, _t: float) -> None:
+            self.sim.schedule(
+                self.config.server_latency_s,
+                lambda: handler(packet, self.sim.now),
+            )
+
+        return delayed
+
+    # --------------------------------------------------------------- queries
+    def links_for_client(self, client: MobileClient) -> List[Link]:
+        out = []
+        for ap in self.aps:
+            pair = self.medium.link_between(ap.node_id, client.node_id)
+            if pair is not None:
+                out.append(pair[0])
+        return out
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+def build_network(config: Optional[ExperimentConfig] = None, **overrides) -> Network:
+    """Build a testbed network from a config (or keyword overrides)."""
+    if config is None:
+        config = ExperimentConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return Network(config)

@@ -1,0 +1,141 @@
+"""Command-line front end for running reproduction experiments.
+
+Examples
+--------
+Run a single drive and print the summary::
+
+    python -m repro.experiments.cli drive --mode wgtt --speed 15 --traffic tcp
+
+Compare WGTT and the baseline across speeds (Fig. 13 style)::
+
+    python -m repro.experiments.cli sweep --speeds 5,15,25 --traffic udp
+
+Inspect the channel (Fig. 2 / Fig. 10 style)::
+
+    python -m repro.experiments.cli channel --speed 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+import numpy as np
+
+from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
+from .builder import ExperimentConfig, build_network
+from .metrics import mean_throughput_mbps, throughput_timeseries
+from .runners import run_single_drive
+
+__all__ = ["main"]
+
+
+def _coverage_window(speed_mph: float, road: RoadLayout):
+    v = mph_to_mps(speed_mph)
+    return 15.0 / v, (road.span_m + 15.0) / v
+
+
+def cmd_drive(args: argparse.Namespace) -> int:
+    result = run_single_drive(
+        mode=args.mode,
+        speed_mph=args.speed,
+        traffic=args.traffic,
+        udp_rate_mbps=args.udp_rate,
+        seed=args.seed,
+    )
+    road = result.net.road
+    if args.speed > 0:
+        t0, t1 = _coverage_window(args.speed, road)
+    else:
+        t0, t1 = 0.5, result.duration_s
+    throughput = mean_throughput_mbps(result.deliveries, t0, t1)
+    print(f"mode           : {args.mode}")
+    print(f"speed          : {args.speed} mph")
+    print(f"traffic        : {args.traffic}")
+    print(f"throughput     : {throughput:.2f} Mbit/s (in coverage)")
+    print(f"AP switches    : {result.timeline.switch_count}")
+    print(f"sim duration   : {result.duration_s:.1f} s "
+          f"({result.net.sim.events_fired} events)")
+    if args.timeseries:
+        _ts, mbps = throughput_timeseries(result.deliveries, t0, t1, bin_s=0.5)
+        for i, v in enumerate(mbps):
+            bar = "#" * int(v / max(mbps.max(), 1e-9) * 40)
+            print(f"  {t0 + 0.5 * i:6.2f}s {v:6.2f} |{bar}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    speeds = [float(s) for s in args.speeds.split(",")]
+    print(f"{'speed':>8} {'wgtt':>8} {'baseline':>9} {'gain':>6}")
+    for speed in speeds:
+        row = {}
+        for mode in ("wgtt", "baseline"):
+            result = run_single_drive(
+                mode=mode, speed_mph=speed, traffic=args.traffic,
+                udp_rate_mbps=args.udp_rate, seed=args.seed,
+            )
+            t0, t1 = _coverage_window(speed, result.net.road)
+            row[mode] = mean_throughput_mbps(result.deliveries, t0, t1)
+        gain = row["wgtt"] / max(row["baseline"], 1e-9)
+        print(f"{speed:6.0f}mph {row['wgtt']:8.2f} {row['baseline']:9.2f} "
+              f"{gain:5.1f}x")
+    return 0
+
+
+def cmd_channel(args: argparse.Namespace) -> int:
+    net = build_network(ExperimentConfig(mode="wgtt", seed=args.seed))
+    trajectory = LinearTrajectory.drive_through(net.road, args.speed)
+    client = net.add_client(trajectory)
+    links = net.links_for_client(client)
+    v = mph_to_mps(args.speed)
+    t0, t1 = _coverage_window(args.speed, net.road)
+    ts = np.arange(t0, min(t1, t0 + 2.0), 1e-3)
+    esnr = np.array([[link.esnr_db(float(t)) for link in links] for t in ts])
+    best = esnr.argmax(axis=1)
+    flips = int(np.sum(np.diff(best) != 0))
+    print(f"APs                  : {len(links)}")
+    print(f"observation window   : {1000 * (ts[-1] - ts[0]):.0f} ms at {args.speed} mph")
+    print(f"best-AP changes      : {flips}")
+    print(f"mean best-AP dwell   : {1000 * (ts[-1] - ts[0]) / max(flips, 1):.1f} ms")
+    print(f"peak ESNR            : {esnr.max():.1f} dB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Wi-Fi Goes to Town reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    drive = sub.add_parser("drive", help="run one drive and summarise it")
+    drive.add_argument("--mode", choices=("wgtt", "baseline"), default="wgtt")
+    drive.add_argument("--speed", type=float, default=15.0, help="mph (0 = static)")
+    drive.add_argument("--traffic", choices=("tcp", "udp"), default="tcp")
+    drive.add_argument("--udp-rate", type=float, default=50.0)
+    drive.add_argument("--seed", type=int, default=0)
+    drive.add_argument("--timeseries", action="store_true")
+    drive.set_defaults(fn=cmd_drive)
+
+    sweep = sub.add_parser("sweep", help="WGTT vs baseline across speeds")
+    sweep.add_argument("--speeds", default="5,15,25,35")
+    sweep.add_argument("--traffic", choices=("tcp", "udp"), default="udp")
+    sweep.add_argument("--udp-rate", type=float, default=50.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    channel = sub.add_parser("channel", help="inspect the picocell channel")
+    channel.add_argument("--speed", type=float, default=25.0)
+    channel.add_argument("--seed", type=int, default=0)
+    channel.set_defaults(fn=cmd_channel)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

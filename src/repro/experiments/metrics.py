@@ -1,0 +1,187 @@
+"""Metrics the paper reports, computed from simulation traces.
+
+Throughput timeseries (Figs. 14/15), CDFs (Figs. 16/24), switching
+accuracy (Table 2), capacity loss (Figs. 4/21), serving-AP timelines, and
+assorted helpers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..phy.channel import Link
+from ..phy.mcs import link_capacity_mbps
+from ..sim.trace import TraceRecorder
+
+__all__ = [
+    "throughput_timeseries",
+    "mean_throughput_mbps",
+    "cdf",
+    "ServingTimeline",
+    "switching_accuracy",
+    "capacity_loss_rate",
+    "optimal_ap_series",
+]
+
+
+def throughput_timeseries(
+    deliveries: Sequence[Tuple[float, int]],
+    t0: float,
+    t1: float,
+    bin_s: float = 0.25,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bin (time, bytes) delivery events into a Mbit/s timeseries.
+
+    Returns (bin_centres, mbps).
+    """
+    if t1 <= t0:
+        raise ValueError("t1 must exceed t0")
+    edges = np.arange(t0, t1 + bin_s, bin_s)
+    counts = np.zeros(len(edges) - 1)
+    for t, nbytes in deliveries:
+        if t0 <= t < t1:
+            idx = min(int((t - t0) / bin_s), len(counts) - 1)
+            counts[idx] += nbytes
+    centres = edges[:-1] + bin_s / 2.0
+    return centres, counts * 8.0 / bin_s / 1e6
+
+
+def mean_throughput_mbps(
+    deliveries: Sequence[Tuple[float, int]], t0: float, t1: float
+) -> float:
+    """Average goodput over [t0, t1) from (time, bytes) events."""
+    if t1 <= t0:
+        return 0.0
+    total = sum(nbytes for t, nbytes in deliveries if t0 <= t < t1)
+    return total * 8.0 / (t1 - t0) / 1e6
+
+
+def cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted_values, cumulative_probabilities)."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+class ServingTimeline:
+    """Which AP served a client over time, built from ``ap_switch`` traces."""
+
+    def __init__(self, events: Sequence[Tuple[float, Optional[int]]]):
+        self._times = [t for t, _ap in events]
+        self._aps = [ap for _t, ap in events]
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder, client: int) -> "ServingTimeline":
+        events = [
+            (r.time, r["ap"])
+            for r in trace.iter_records("ap_switch")
+            if r["client"] == client
+        ]
+        return cls(events)
+
+    @classmethod
+    def from_association_changes(
+        cls, changes: Sequence[Tuple[float, Optional[int]]]
+    ) -> "ServingTimeline":
+        return cls(list(changes))
+
+    def ap_at(self, t: float) -> Optional[int]:
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return None
+        return self._aps[idx]
+
+    @property
+    def switch_count(self) -> int:
+        return len(self._times)
+
+    def segments(self, t_end: float) -> List[Tuple[float, float, Optional[int]]]:
+        """(start, end, ap) intervals up to ``t_end``."""
+        out = []
+        for i, (t, ap) in enumerate(zip(self._times, self._aps)):
+            end = self._times[i + 1] if i + 1 < len(self._times) else t_end
+            out.append((t, min(end, t_end), ap))
+        return out
+
+
+def optimal_ap_series(
+    links: Sequence[Link],
+    ap_ids: Sequence[int],
+    t0: float,
+    t1: float,
+    sample_s: float = 2e-3,
+) -> List[Tuple[float, int, float]]:
+    """Ground-truth best AP: (t, ap_id, best_esnr) sampled every ``sample_s``.
+
+    The 'optimal' AP is the one with maximum instantaneous ESNR, exactly
+    the oracle Table 2 measures switching accuracy against.
+    """
+    out = []
+    for t in np.arange(t0, t1, sample_s):
+        esnrs = [link.esnr_db(float(t)) for link in links]
+        best = int(np.argmax(esnrs))
+        out.append((float(t), ap_ids[best], float(esnrs[best])))
+    return out
+
+
+def switching_accuracy(
+    timeline: ServingTimeline,
+    links: Sequence[Link],
+    ap_ids: Sequence[int],
+    t0: float,
+    t1: float,
+    sample_s: float = 2e-3,
+    tolerance_db: float = 0.5,
+) -> float:
+    """Fraction of time the serving AP is the max-ESNR AP (Table 2).
+
+    A sample counts as accurate when the serving AP's ESNR is within
+    ``tolerance_db`` of the best AP's (ties in a fading channel are
+    physically meaningless distinctions).
+    """
+    hits = 0
+    total = 0
+    for t in np.arange(t0, t1, sample_s):
+        serving = timeline.ap_at(float(t))
+        if serving is None:
+            total += 1
+            continue
+        esnrs = {ap_id: link.esnr_db(float(t)) for ap_id, link in zip(ap_ids, links)}
+        best = max(esnrs.values())
+        total += 1
+        if serving in esnrs and esnrs[serving] >= best - tolerance_db:
+            hits += 1
+    return hits / total if total else 0.0
+
+
+def capacity_loss_rate(
+    timeline: ServingTimeline,
+    links: Sequence[Link],
+    ap_ids: Sequence[int],
+    t0: float,
+    t1: float,
+    sample_s: float = 2e-3,
+) -> float:
+    """1 - (capacity through the chosen AP / capacity through the best AP).
+
+    This is the metric of the window-size microbenchmark (Fig. 21) and
+    the shaded capacity-loss areas of Fig. 4, normalised to a rate.
+    """
+    chosen_total = 0.0
+    best_total = 0.0
+    link_by_ap = dict(zip(ap_ids, links))
+    for t in np.arange(t0, t1, sample_s):
+        caps = {ap_id: link.capacity_mbps(float(t)) for ap_id, link in link_by_ap.items()}
+        best_total += max(caps.values())
+        serving = timeline.ap_at(float(t))
+        if serving is not None and serving in caps:
+            chosen_total += caps[serving]
+    if best_total <= 0.0:
+        return 0.0
+    return max(0.0, 1.0 - chosen_total / best_total)

@@ -1,0 +1,221 @@
+"""High-level experiment runners.
+
+These are the 'iperf3 + tcpdump' of the reproduction: attach transport
+flows to a built network, run a drive, and package the measurements every
+figure/table needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.client import MobileClient
+from ..mobility.trajectory import (
+    LinearTrajectory,
+    RoadLayout,
+    StationaryTrajectory,
+    Trajectory,
+)
+from ..transport.tcp import TcpReceiver, TcpSender
+from ..transport.udp import UdpReceiver, UdpSender
+from .builder import ExperimentConfig, Network, build_network
+from .metrics import ServingTimeline, mean_throughput_mbps
+
+__all__ = [
+    "attach_udp_downlink",
+    "attach_udp_uplink",
+    "attach_tcp_downlink",
+    "udp_deliveries",
+    "tcp_deliveries",
+    "DriveResult",
+    "run_single_drive",
+    "static_trajectory",
+]
+
+_next_flow_id = [1]
+
+
+def _alloc_flow_id() -> int:
+    flow_id = _next_flow_id[0]
+    _next_flow_id[0] += 1
+    return flow_id
+
+
+# ------------------------------------------------------------------- flows
+def attach_udp_downlink(
+    net: Network,
+    client: MobileClient,
+    rate_mbps: float,
+    flow_id: Optional[int] = None,
+) -> Tuple[UdpSender, UdpReceiver]:
+    """Server -> client UDP CBR flow (the paper's iperf3 download)."""
+    flow_id = flow_id if flow_id is not None else _alloc_flow_id()
+    receiver = UdpReceiver(net.sim, flow_id, trace=net.trace)
+    client.register_flow(flow_id, receiver.on_packet)
+    sender = UdpSender(
+        net.sim, net.server_send, src=net.server_id, dst=client.node_id,
+        flow_id=flow_id, rate_mbps=rate_mbps,
+    )
+    return sender, receiver
+
+
+def attach_udp_uplink(
+    net: Network,
+    client: MobileClient,
+    rate_mbps: float,
+    flow_id: Optional[int] = None,
+) -> Tuple[UdpSender, UdpReceiver]:
+    """Client -> server UDP CBR flow (uplink-diversity experiments)."""
+    flow_id = flow_id if flow_id is not None else _alloc_flow_id()
+    receiver = UdpReceiver(net.sim, flow_id, trace=net.trace)
+    net.controller.register_uplink_handler(
+        flow_id, net.deliver_to_server(receiver.on_packet)
+    )
+    sender = UdpSender(
+        net.sim, client.uplink_send, src=client.node_id, dst=net.server_id,
+        flow_id=flow_id, rate_mbps=rate_mbps,
+    )
+    return sender, receiver
+
+
+def attach_tcp_downlink(
+    net: Network,
+    client: MobileClient,
+    flow_id: Optional[int] = None,
+    app_limit_bytes: Optional[int] = None,
+) -> Tuple[TcpSender, TcpReceiver]:
+    """Server -> client bulk TCP download, ACKs on the uplink path."""
+    flow_id = flow_id if flow_id is not None else _alloc_flow_id()
+    sender = TcpSender(
+        net.sim, net.server_send, src=net.server_id, dst=client.node_id,
+        flow_id=flow_id, app_limit_bytes=app_limit_bytes, trace=net.trace,
+    )
+    receiver = TcpReceiver(
+        net.sim, client.uplink_send, src=client.node_id, dst=net.server_id,
+        flow_id=flow_id, trace=net.trace,
+    )
+    client.register_flow(flow_id, receiver.on_packet)
+    net.controller.register_uplink_handler(
+        flow_id, net.deliver_to_server(sender.on_packet)
+    )
+    return sender, receiver
+
+
+def udp_deliveries(receiver: UdpReceiver, packet_bytes: int) -> List[Tuple[float, int]]:
+    """(time, bytes) delivery events of a UDP flow."""
+    return [(t, packet_bytes) for (t, _seq) in receiver.deliveries]
+
+
+def tcp_deliveries(receiver: TcpReceiver) -> List[Tuple[float, int]]:
+    """(time, new in-order bytes) events of a TCP flow."""
+    out = []
+    prev = 0
+    for t, rcv_nxt in receiver.progress:
+        out.append((t, rcv_nxt - prev))
+        prev = rcv_nxt
+    return out
+
+
+# ------------------------------------------------------------------- drives
+def static_trajectory(road: RoadLayout) -> StationaryTrajectory:
+    """Parked at the boresight of the middle AP (the 'static' bar)."""
+    mid = road.n_aps // 2
+    return StationaryTrajectory(road.ap_aim_point(mid))
+
+
+@dataclass
+class DriveResult:
+    """Everything a figure needs from one drive."""
+
+    net: Network
+    client: MobileClient
+    duration_s: float
+    measure_t0: float
+    measure_t1: float
+    deliveries: List[Tuple[float, int]]
+    throughput_mbps: float
+    timeline: ServingTimeline
+    sender: object = None
+    receiver: object = None
+    extras: Dict = field(default_factory=dict)
+
+    @property
+    def trace(self):
+        return self.net.trace
+
+
+def run_single_drive(
+    mode: str = "wgtt",
+    speed_mph: float = 15.0,
+    traffic: str = "tcp",
+    udp_rate_mbps: float = 20.0,
+    seed: int = 0,
+    road: Optional[RoadLayout] = None,
+    duration_s: Optional[float] = None,
+    warmup_s: float = 0.5,
+    config: Optional[ExperimentConfig] = None,
+    trajectory: Optional[Trajectory] = None,
+    **config_overrides,
+) -> DriveResult:
+    """One client transiting the AP array with a bulk download.
+
+    ``traffic`` is ``"tcp"`` or ``"udp"``.  ``speed_mph == 0`` parks the
+    client at the middle AP (the static case of Fig. 13).
+    """
+    road = road or RoadLayout()
+    if config is None:
+        config = ExperimentConfig(
+            mode=mode, road=road, seed=seed, **config_overrides
+        )
+    net = build_network(config)
+    traffic_start_s = 0.050
+    if trajectory is None:
+        if speed_mph <= 0:
+            trajectory = static_trajectory(road)
+            if duration_s is None:
+                duration_s = 10.0
+        else:
+            trajectory = LinearTrajectory.drive_through(road, speed_mph)
+            # Start the flow once the client is inside coverage (~8 m
+            # before the first AP) -- the paper's drives begin with the
+            # client already connected.
+            entry_x = min(road.ap_x) - 8.0
+            traffic_start_s = max(
+                traffic_start_s, (entry_x - trajectory.start_x) / trajectory.speed_mps
+            )
+    if duration_s is None:
+        duration_s = trajectory.transit_duration(road)
+    client = net.add_client(trajectory)
+
+    if traffic == "tcp":
+        sender, receiver = attach_tcp_downlink(net, client)
+        start = lambda: sender.start()
+        deliveries_fn = lambda: tcp_deliveries(receiver)
+    elif traffic == "udp":
+        sender, receiver = attach_udp_downlink(net, client, udp_rate_mbps)
+        start = lambda: sender.start()
+        deliveries_fn = lambda: udp_deliveries(receiver, sender.packet_bytes)
+    else:
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    net.sim.schedule(traffic_start_s, start)
+    net.run(until=duration_s)
+
+    t0, t1 = traffic_start_s + warmup_s, duration_s
+    deliveries = deliveries_fn()
+    timeline = ServingTimeline.from_trace(net.trace, client.node_id)
+    return DriveResult(
+        net=net,
+        client=client,
+        duration_s=duration_s,
+        measure_t0=t0,
+        measure_t1=t1,
+        deliveries=deliveries,
+        throughput_mbps=mean_throughput_mbps(deliveries, t0, t1),
+        timeline=timeline,
+        sender=sender,
+        receiver=receiver,
+    )

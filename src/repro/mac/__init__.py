@@ -1,0 +1,47 @@
+"""802.11n MAC substrate: frames, aggregation, block ACKs, rate control,
+channel access, and the shared wireless medium."""
+
+from .airtime import (
+    DEFAULT_TIMING,
+    MacTiming,
+    ampdu_airtime_s,
+    beacon_airtime_s,
+    block_ack_airtime_s,
+    control_frame_airtime_s,
+    max_mpdus_for_airtime,
+    mpdu_wire_bytes,
+)
+from .block_ack import BlockAckScoreboard, SequenceCounter, seq_distance
+from .frames import SEQ_MODULO, Ampdu, Beacon, BlockAck, MgmtFrame, Mpdu
+from .medium import Medium, MediumParams, Transmission
+from .radio import DEFAULT_RETRY_LIMIT, PeerState, Radio
+from .rate_control import EsnrRateControl, MinstrelLite, RateController
+
+__all__ = [
+    "DEFAULT_TIMING",
+    "MacTiming",
+    "ampdu_airtime_s",
+    "beacon_airtime_s",
+    "block_ack_airtime_s",
+    "control_frame_airtime_s",
+    "max_mpdus_for_airtime",
+    "mpdu_wire_bytes",
+    "BlockAckScoreboard",
+    "SequenceCounter",
+    "seq_distance",
+    "SEQ_MODULO",
+    "Ampdu",
+    "Beacon",
+    "BlockAck",
+    "MgmtFrame",
+    "Mpdu",
+    "Medium",
+    "MediumParams",
+    "Transmission",
+    "DEFAULT_RETRY_LIMIT",
+    "PeerState",
+    "Radio",
+    "EsnrRateControl",
+    "MinstrelLite",
+    "RateController",
+]

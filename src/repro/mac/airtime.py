@@ -1,0 +1,107 @@
+"""802.11n frame timing and airtime computation.
+
+All the timing constants the MAC needs: slot/SIFS/DIFS, PHY preambles,
+A-MPDU duration, block-ACK and beacon airtime.  Values follow 802.11n in
+the 2.4 GHz band (HT-mixed format, short guard interval), matching the
+TP-Link N750 testbed configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..phy.mcs import McsEntry
+
+__all__ = ["MacTiming", "DEFAULT_TIMING", "ampdu_airtime_s", "mpdu_wire_bytes"]
+
+#: MAC header (QoS data, 26 B) + FCS (4 B) + A-MPDU delimiter & padding (4 B).
+MPDU_OVERHEAD_BYTES = 34
+
+#: Block ACK frame body (compressed bitmap variant).
+BLOCK_ACK_BYTES = 32
+
+#: Management frame sizes (order of magnitude; beacons carry IEs).
+BEACON_BYTES = 220
+MGMT_BYTES = 120
+NULL_DATA_BYTES = 28
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Channel-access timing for 802.11 at 2.4 GHz (DSSS-OFDM coexistence).
+
+    ``basic_rate_mbps`` is the legacy OFDM rate used for control responses
+    (block ACKs) and management frames.
+    """
+
+    slot_s: float = 9e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 28e-6  # SIFS + 2 * slot
+    cw_min: int = 16
+    cw_max: int = 1024
+    preamble_s: float = 36e-6  # HT-mixed: L-STF+L-LTF+L-SIG+HT-SIG+HT-STF+HT-LTF
+    legacy_preamble_s: float = 20e-6
+    symbol_s: float = 3.6e-6  # OFDM symbol with short GI
+    basic_rate_mbps: float = 24.0
+    beacon_rate_mbps: float = 6.0
+    #: Regulatory/driver cap on a single A-MPDU's airtime.
+    max_ampdu_airtime_s: float = 4e-3
+    #: Driver cap on MPDUs per aggregate (ath9k default region).
+    max_ampdu_frames: int = 32
+
+
+DEFAULT_TIMING = MacTiming()
+
+
+def mpdu_wire_bytes(payload_bytes: int) -> int:
+    """Bytes of one MPDU on the air, including MAC framing."""
+    return payload_bytes + MPDU_OVERHEAD_BYTES
+
+
+def ampdu_airtime_s(
+    mpdu_payload_bytes, mcs: McsEntry, timing: MacTiming = DEFAULT_TIMING
+) -> float:
+    """Airtime of an A-MPDU carrying the given MPDU payloads.
+
+    ``mpdu_payload_bytes`` is an iterable of per-MPDU payload sizes in
+    bytes.  Duration = HT preamble + data bits rounded up to whole OFDM
+    symbols.
+    """
+    total_bits = sum(8 * mpdu_wire_bytes(b) for b in mpdu_payload_bytes)
+    if total_bits == 0:
+        raise ValueError("cannot compute airtime of an empty A-MPDU")
+    bits_per_symbol = mcs.phy_rate_mbps * timing.symbol_s * 1e6
+    n_symbols = math.ceil(total_bits / bits_per_symbol)
+    return timing.preamble_s + n_symbols * timing.symbol_s
+
+
+def control_frame_airtime_s(
+    frame_bytes: int, timing: MacTiming = DEFAULT_TIMING, rate_mbps: float = None
+) -> float:
+    """Airtime of a legacy-format control/management frame."""
+    rate = rate_mbps if rate_mbps is not None else timing.basic_rate_mbps
+    symbols = math.ceil((frame_bytes * 8) / (rate * 4.0))  # 4 us legacy symbols
+    return timing.legacy_preamble_s + symbols * 4e-6
+
+
+def block_ack_airtime_s(timing: MacTiming = DEFAULT_TIMING) -> float:
+    """Airtime of one compressed block ACK."""
+    return control_frame_airtime_s(BLOCK_ACK_BYTES, timing)
+
+
+def beacon_airtime_s(timing: MacTiming = DEFAULT_TIMING) -> float:
+    """Airtime of one beacon at the (low) beacon rate."""
+    return control_frame_airtime_s(BEACON_BYTES, timing, rate_mbps=timing.beacon_rate_mbps)
+
+
+def max_mpdus_for_airtime(
+    payload_bytes: int, mcs: McsEntry, timing: MacTiming = DEFAULT_TIMING
+) -> int:
+    """How many equal-size MPDUs fit in the A-MPDU airtime/count caps."""
+    limit = timing.max_ampdu_frames
+    for n in range(1, timing.max_ampdu_frames + 1):
+        if ampdu_airtime_s([payload_bytes] * n, mcs, timing) > timing.max_ampdu_airtime_s:
+            limit = n - 1
+            break
+    return max(1, limit)

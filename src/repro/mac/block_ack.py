@@ -1,0 +1,101 @@
+"""Block-acknowledgement bookkeeping.
+
+Two pieces:
+
+* :class:`SequenceCounter` -- the transmitter's 12-bit per-peer sequence
+  space.
+* :class:`BlockAckScoreboard` -- the transmitter-side record of which
+  in-flight sequence numbers an aggregate is waiting on, plus duplicate-BA
+  suppression for the WGTT forwarding path (an AP must not apply the same
+  BA twice when it arrives both over the air and over the backhaul,
+  section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .frames import SEQ_MODULO, BlockAck
+
+__all__ = ["SequenceCounter", "BlockAckScoreboard", "seq_distance"]
+
+
+def seq_distance(a: int, b: int) -> int:
+    """Forward distance from ``a`` to ``b`` in 12-bit sequence space."""
+    return (b - a) % SEQ_MODULO
+
+
+class SequenceCounter:
+    """Allocates consecutive 12-bit sequence numbers per peer."""
+
+    def __init__(self) -> None:
+        self._next: Dict[int, int] = {}
+
+    def allocate(self, peer: int) -> int:
+        seq = self._next.get(peer, 0)
+        self._next[peer] = (seq + 1) % SEQ_MODULO
+        return seq
+
+    def peek(self, peer: int) -> int:
+        return self._next.get(peer, 0)
+
+
+class BlockAckScoreboard:
+    """Transmitter-side block-ACK state for one peer.
+
+    Life cycle per aggregate: :meth:`record_sent` registers the in-flight
+    sequence numbers; :meth:`apply_block_ack` resolves them into
+    (acked, unacked) lists.  BAs already applied (identified by
+    ``(start_seq, bitmap)`` like the real forwarding path's duplicate
+    check) are ignored.
+    """
+
+    def __init__(self, history: int = 16):
+        self._in_flight: Set[int] = set()
+        self._applied_bas: List[Tuple[int, int]] = []
+        self._history = history
+        self.bas_applied = 0
+        self.bas_duplicate = 0
+
+    @property
+    def in_flight(self) -> Set[int]:
+        return set(self._in_flight)
+
+    def record_sent(self, seqs: List[int]) -> None:
+        """Mark sequence numbers as awaiting acknowledgement."""
+        self._in_flight.update(seqs)
+
+    def apply_block_ack(self, ba: BlockAck) -> Optional[Tuple[List[int], List[int]]]:
+        """Resolve a BA against in-flight state.
+
+        Returns ``(acked, still_unacked)`` over the BA's 64-seq window, or
+        ``None`` if this exact BA was seen before (duplicate from the
+        forwarding path).
+        """
+        key = (ba.start_seq, ba.bitmap)
+        if key in self._applied_bas:
+            self.bas_duplicate += 1
+            return None
+        self._applied_bas.append(key)
+        if len(self._applied_bas) > self._history:
+            self._applied_bas.pop(0)
+        self.bas_applied += 1
+
+        acked = [s for s in ba.acked if s in self._in_flight]
+        for s in acked:
+            self._in_flight.discard(s)
+        window = {
+            (ba.start_seq + i) % SEQ_MODULO for i in range(64)
+        }
+        unacked = [s for s in self._in_flight if s in window]
+        return acked, unacked
+
+    def forget(self, seqs: List[int]) -> None:
+        """Drop sequence numbers without acknowledgement (retry give-up)."""
+        for s in seqs:
+            self._in_flight.discard(s)
+
+    def reset(self) -> None:
+        """Clear all state (used when the serving AP changes)."""
+        self._in_flight.clear()
+        self._applied_bas.clear()

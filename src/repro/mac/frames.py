@@ -1,0 +1,123 @@
+"""802.11 frame objects exchanged over the simulated medium."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.packet import Packet
+from ..phy.mcs import McsEntry
+
+__all__ = ["Mpdu", "Ampdu", "BlockAck", "MgmtFrame", "Beacon", "SEQ_MODULO"]
+
+#: 802.11 sequence numbers are 12 bits.
+SEQ_MODULO = 4096
+
+_frame_uid = itertools.count(1)
+
+
+@dataclass
+class Mpdu:
+    """One MAC protocol data unit inside an aggregate.
+
+    ``seq`` is the 12-bit 802.11 sequence number assigned by the
+    transmitter's per-peer counter; ``retries`` counts delivery attempts.
+    """
+
+    packet: Packet
+    seq: int
+    retries: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.packet.size_bytes
+
+
+@dataclass
+class Ampdu:
+    """An aggregated frame: the unit of medium access for data.
+
+    A single-MPDU transmission is an Ampdu of length one (802.11n sends
+    everything under a block-ACK agreement once one is set up).
+    """
+
+    src: int
+    dst: int
+    mpdus: List[Mpdu]
+    mcs: McsEntry
+    uplink: bool = False
+    uid: int = field(default_factory=lambda: next(_frame_uid))
+
+    def __post_init__(self) -> None:
+        if not self.mpdus:
+            raise ValueError("A-MPDU must contain at least one MPDU")
+
+    @property
+    def n_mpdus(self) -> int:
+        return len(self.mpdus)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(m.payload_bytes for m in self.mpdus)
+
+    def seqs(self) -> List[int]:
+        return [m.seq for m in self.mpdus]
+
+
+@dataclass
+class BlockAck:
+    """Compressed block ACK: a start sequence + 64-bit bitmap.
+
+    ``acked`` maps each acknowledged 12-bit sequence number; it is the
+    decoded form of the bitmap (the start_seq/bitmap pair is kept so the
+    forwarding path can re-encode it faithfully).
+    """
+
+    src: int  # the acknowledging station (client for downlink data)
+    dst: int  # the station being acknowledged
+    start_seq: int
+    bitmap: int
+    uid: int = field(default_factory=lambda: next(_frame_uid))
+
+    @property
+    def acked(self) -> List[int]:
+        return [
+            (self.start_seq + i) % SEQ_MODULO
+            for i in range(64)
+            if self.bitmap & (1 << i)
+        ]
+
+    @classmethod
+    def for_seqs(cls, src: int, dst: int, seqs: List[int], start_seq: int) -> "BlockAck":
+        """Build a BA acknowledging ``seqs`` relative to ``start_seq``.
+
+        Sequence numbers outside the 64-frame window are silently ignored,
+        exactly as a real compressed BA cannot represent them.
+        """
+        bitmap = 0
+        for seq in seqs:
+            offset = (seq - start_seq) % SEQ_MODULO
+            if offset < 64:
+                bitmap |= 1 << offset
+        return cls(src=src, dst=dst, start_seq=start_seq, bitmap=bitmap)
+
+
+@dataclass
+class MgmtFrame:
+    """Management frame: (re)association, probe, null-data keepalive."""
+
+    src: int
+    dst: int
+    kind: str  # "reassoc_req" | "reassoc_resp" | "null" | "probe"
+    info: Dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_frame_uid))
+
+
+@dataclass
+class Beacon:
+    """Periodic beacon announcing an AP (or the shared WGTT BSSID)."""
+
+    src: int
+    bssid: int
+    uid: int = field(default_factory=lambda: next(_frame_uid))

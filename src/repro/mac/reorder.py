@@ -1,0 +1,102 @@
+"""Receiver-side block-ACK reordering (802.11n receive reorder buffer).
+
+Link-layer retransmissions deliver MPDUs out of sequence-number order.  A
+real 802.11n receiver holds out-of-order MPDUs in a per-originator
+reorder buffer and releases them in order, so upper layers (TCP!) never
+see MAC-level reordering; a timeout bounds head-of-line blocking when the
+transmitter gives up on a frame.  Without this, every link-layer retry
+would surface as TCP duplicate ACKs and trigger spurious fast
+retransmits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..sim.engine import EventHandle, Simulator
+from .block_ack import seq_distance
+from .frames import SEQ_MODULO
+
+__all__ = ["RxReorderBuffer"]
+
+#: Half the sequence space: anything further "ahead" is treated as behind.
+_HALF_SPACE = SEQ_MODULO // 2
+
+DeliverFn = Callable[[Any], None]
+
+
+class RxReorderBuffer:
+    """In-order release of MPDUs received from one transmitter.
+
+    Parameters
+    ----------
+    timeout_s:
+        How long the head-of-line gap may block delivery before the
+        window is forced forward (covers transmitter retry give-ups).
+    """
+
+    def __init__(self, sim: Simulator, deliver: DeliverFn, timeout_s: float = 0.020):
+        self.sim = sim
+        self.deliver = deliver
+        self.timeout_s = timeout_s
+        self._next_seq: Optional[int] = None
+        self._buffer: Dict[int, Any] = {}
+        self._timer: Optional[EventHandle] = None
+        self.delivered = 0
+        self.duplicates = 0
+        self.timeouts = 0
+
+    def on_mpdu(self, seq: int, payload: Any) -> None:
+        """Accept one decoded MPDU."""
+        if self._next_seq is None:
+            self._next_seq = seq
+        behind = seq_distance(seq, self._next_seq)
+        if 0 < behind <= _HALF_SPACE:
+            # At or before the window start: duplicate of something already
+            # released (a link-layer retry we have already seen).
+            self.duplicates += 1
+            return
+        if seq == self._next_seq:
+            self._release(payload)
+            self._flush_consecutive()
+        else:
+            if seq in self._buffer:
+                self.duplicates += 1
+                return
+            self._buffer[seq] = payload
+            self._arm_timer()
+
+    # ------------------------------------------------------------- internals
+    def _release(self, payload: Any) -> None:
+        self.deliver(payload)
+        self.delivered += 1
+        self._next_seq = (self._next_seq + 1) % SEQ_MODULO
+
+    def _flush_consecutive(self) -> None:
+        while self._next_seq in self._buffer:
+            self._release(self._buffer.pop(self._next_seq))
+        if not self._buffer and self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm_timer(self) -> None:
+        if self._timer is None:
+            self._timer = self.sim.schedule(self.timeout_s, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self._buffer:
+            return
+        self.timeouts += 1
+        # Jump the window to the earliest buffered frame and flush.
+        earliest = min(
+            self._buffer, key=lambda s: seq_distance(self._next_seq, s)
+        )
+        self._next_seq = earliest
+        self._flush_consecutive()
+        if self._buffer:
+            self._arm_timer()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,32 @@
+"""Mobility substrate: road layout, trajectories, driving scenarios."""
+
+from .scenarios import SCENARIOS, following, opposing, parallel
+from .trajectory import (
+    AP_HEIGHT_M,
+    AP_SETBACK_M,
+    CLIENT_HEIGHT_M,
+    FAR_LANE_Y_M,
+    NEAR_LANE_Y_M,
+    LinearTrajectory,
+    RoadLayout,
+    StationaryTrajectory,
+    Trajectory,
+    mph_to_mps,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "following",
+    "opposing",
+    "parallel",
+    "AP_HEIGHT_M",
+    "AP_SETBACK_M",
+    "CLIENT_HEIGHT_M",
+    "FAR_LANE_Y_M",
+    "NEAR_LANE_Y_M",
+    "LinearTrajectory",
+    "RoadLayout",
+    "StationaryTrajectory",
+    "Trajectory",
+    "mph_to_mps",
+]

@@ -1,0 +1,52 @@
+"""Multi-client driving scenarios from Fig. 19 of the paper.
+
+Three two-car arrangements, all at the same speed:
+
+* **following** -- both cars in the same lane, 3 m apart;
+* **parallel** -- side by side in the two lanes;
+* **opposing** -- driving towards each other in opposite lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .trajectory import FAR_LANE_Y_M, NEAR_LANE_Y_M, LinearTrajectory, RoadLayout
+
+__all__ = ["following", "parallel", "opposing", "SCENARIOS"]
+
+
+def following(
+    road: RoadLayout, speed_mph: float = 15.0, spacing_m: float = 3.0
+) -> List[LinearTrajectory]:
+    """Two cars in the same lane; the second trails by ``spacing_m``."""
+    lead = LinearTrajectory.drive_through(road, speed_mph, lane_y=NEAR_LANE_Y_M)
+    trail = LinearTrajectory.drive_through(
+        road, speed_mph, lane_y=NEAR_LANE_Y_M, offset_m=-spacing_m
+    )
+    return [lead, trail]
+
+
+def parallel(road: RoadLayout, speed_mph: float = 15.0) -> List[LinearTrajectory]:
+    """Two cars abreast, one in each lane, same direction."""
+    return [
+        LinearTrajectory.drive_through(road, speed_mph, lane_y=NEAR_LANE_Y_M),
+        LinearTrajectory.drive_through(road, speed_mph, lane_y=FAR_LANE_Y_M),
+    ]
+
+
+def opposing(road: RoadLayout, speed_mph: float = 15.0) -> List[LinearTrajectory]:
+    """Two cars driving towards each other in opposite lanes."""
+    return [
+        LinearTrajectory.drive_through(road, speed_mph, lane_y=NEAR_LANE_Y_M),
+        LinearTrajectory.drive_through(
+            road, speed_mph, lane_y=FAR_LANE_Y_M, reverse=True
+        ),
+    ]
+
+
+SCENARIOS = {
+    "following": following,
+    "parallel": parallel,
+    "opposing": opposing,
+}

@@ -1,0 +1,184 @@
+"""Road geometry and client trajectories.
+
+Coordinate system (metres): ``x`` runs along the road, ``y`` across it,
+``z`` is height.  The AP array sits on the third floor of the building at
+``y = AP_SETBACK_M`` / ``z = AP_HEIGHT_M``, aimed down at the road, exactly
+like Fig. 9 of the paper.  Cars drive along ``x`` in one of two lanes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "mph_to_mps",
+    "RoadLayout",
+    "Trajectory",
+    "LinearTrajectory",
+    "StationaryTrajectory",
+]
+
+Vec3 = Tuple[float, float, float]
+
+AP_SETBACK_M = -8.0
+AP_HEIGHT_M = 10.0
+CLIENT_HEIGHT_M = 1.5
+NEAR_LANE_Y_M = 2.0
+FAR_LANE_Y_M = 5.5
+DEFAULT_AP_SPACING_M = 7.5
+DEFAULT_N_APS = 8
+
+
+def mph_to_mps(mph: float) -> float:
+    """Miles per hour to metres per second."""
+    return mph * 0.44704
+
+
+@dataclass
+class RoadLayout:
+    """AP placement along the roadside.
+
+    ``ap_x`` holds the along-road coordinate of each AP; use
+    :meth:`uniform` for the paper's 7.5 m testbed grid or
+    :meth:`two_density` for the Fig. 23 dense/sparse comparison.
+    """
+
+    ap_x: Sequence[float] = field(
+        default_factory=lambda: [i * DEFAULT_AP_SPACING_M for i in range(DEFAULT_N_APS)]
+    )
+    ap_setback_m: float = AP_SETBACK_M
+    ap_height_m: float = AP_HEIGHT_M
+    aim_lane_y_m: float = (NEAR_LANE_Y_M + FAR_LANE_Y_M) / 2.0
+
+    @classmethod
+    def uniform(cls, n_aps: int = DEFAULT_N_APS, spacing_m: float = DEFAULT_AP_SPACING_M) -> "RoadLayout":
+        if n_aps < 1:
+            raise ValueError("need at least one AP")
+        return cls(ap_x=[i * spacing_m for i in range(n_aps)])
+
+    @classmethod
+    def two_density(
+        cls,
+        n_dense: int = 4,
+        n_sparse: int = 4,
+        dense_spacing_m: float = 7.5,
+        sparse_spacing_m: float = 15.0,
+    ) -> "RoadLayout":
+        """Half the array densely packed, half sparse (Fig. 23 setup)."""
+        xs: List[float] = [i * dense_spacing_m for i in range(n_dense)]
+        start = xs[-1] + sparse_spacing_m if xs else 0.0
+        xs.extend(start + i * sparse_spacing_m for i in range(n_sparse))
+        return cls(ap_x=list(xs))
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.ap_x)
+
+    def ap_position(self, index: int) -> Vec3:
+        return (self.ap_x[index], self.ap_setback_m, self.ap_height_m)
+
+    def ap_aim_point(self, index: int) -> Vec3:
+        """Where AP ``index``'s parabolic antenna points: its road patch."""
+        return (self.ap_x[index], self.aim_lane_y_m, CLIENT_HEIGHT_M)
+
+    @property
+    def span_m(self) -> float:
+        return max(self.ap_x) - min(self.ap_x)
+
+    def segment_bounds(self, first_ap: int, last_ap: int) -> Tuple[float, float]:
+        """Along-road extent covered by APs ``first_ap..last_ap`` inclusive."""
+        return self.ap_x[first_ap], self.ap_x[last_ap]
+
+
+class Trajectory:
+    """Interface: client position as a function of simulation time."""
+
+    speed_mps: float = 0.0
+
+    def position(self, t: float) -> Vec3:
+        raise NotImplementedError
+
+    def x(self, t: float) -> float:
+        return self.position(t)[0]
+
+
+class StationaryTrajectory(Trajectory):
+    """A parked client (the 'static' point of Fig. 13)."""
+
+    def __init__(self, position: Vec3):
+        self._position = position
+        self.speed_mps = 0.0
+
+    def position(self, t: float) -> Vec3:
+        return self._position
+
+
+class LinearTrajectory(Trajectory):
+    """Constant-velocity drive along the road.
+
+    Parameters
+    ----------
+    start_x:
+        Along-road position at ``start_time``.
+    speed_mps:
+        Signed speed; negative drives in the -x direction (opposing lane).
+    lane_y:
+        Across-road lane coordinate.
+    """
+
+    def __init__(
+        self,
+        start_x: float,
+        speed_mps: float,
+        lane_y: float = NEAR_LANE_Y_M,
+        start_time: float = 0.0,
+        z: float = CLIENT_HEIGHT_M,
+    ):
+        self.start_x = start_x
+        self.speed_signed_mps = speed_mps
+        self.speed_mps = abs(speed_mps)
+        self.lane_y = lane_y
+        self.start_time = start_time
+        self.z = z
+
+    def position(self, t: float) -> Vec3:
+        return (
+            self.start_x + self.speed_signed_mps * (t - self.start_time),
+            self.lane_y,
+            self.z,
+        )
+
+    @classmethod
+    def drive_through(
+        cls,
+        road: RoadLayout,
+        speed_mph: float,
+        lane_y: float = NEAR_LANE_Y_M,
+        lead_in_m: float = 15.0,
+        reverse: bool = False,
+        start_time: float = 0.0,
+        offset_m: float = 0.0,
+    ) -> "LinearTrajectory":
+        """A drive that enters ``lead_in_m`` before the array and crosses it.
+
+        ``offset_m`` shifts the start along the direction of travel
+        (following-car scenarios use a negative offset).
+        """
+        speed = mph_to_mps(speed_mph)
+        if speed <= 0:
+            raise ValueError("drive_through needs a positive speed; use StationaryTrajectory")
+        first, last = min(road.ap_x), max(road.ap_x)
+        if reverse:
+            return cls(last + lead_in_m - offset_m, -speed, lane_y, start_time)
+        return cls(first - lead_in_m + offset_m, speed, lane_y, start_time)
+
+    def transit_duration(self, road: RoadLayout, lead_out_m: float = 15.0) -> float:
+        """Seconds from ``start_time`` until the car exits the array."""
+        first, last = min(road.ap_x), max(road.ap_x)
+        if self.speed_signed_mps > 0:
+            distance = (last + lead_out_m) - self.start_x
+        else:
+            distance = self.start_x - (first - lead_out_m)
+        return max(0.0, distance / self.speed_mps)

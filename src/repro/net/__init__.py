@@ -1,0 +1,27 @@
+"""Network substrate: packets, addressing, queues, Ethernet backhaul."""
+
+from .addressing import NodeIdAllocator, format_ip, format_mac
+from .ethernet import Backhaul, BackhaulParams
+from .packet import (
+    IP_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+    TUNNEL_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    Packet,
+)
+from .queues import DropTailQueue, QueueStats
+
+__all__ = [
+    "NodeIdAllocator",
+    "format_ip",
+    "format_mac",
+    "Backhaul",
+    "BackhaulParams",
+    "Packet",
+    "IP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "TUNNEL_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "DropTailQueue",
+    "QueueStats",
+]

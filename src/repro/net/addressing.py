@@ -1,0 +1,53 @@
+"""Node identifiers and address formatting.
+
+Simulation nodes are identified by small integers (fast to hash and
+compare); this module centralises their allocation and provides the
+human-readable MAC/IP renderings used in traces and logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+__all__ = ["NodeIdAllocator", "format_mac", "format_ip"]
+
+
+def format_mac(node_id: int) -> str:
+    """Render a node id as a locally-administered MAC address."""
+    if node_id < 0 or node_id > 0xFFFFFFFF:
+        raise ValueError(f"node id out of range: {node_id}")
+    octets = [0x02, 0x00, (node_id >> 24) & 0xFF, (node_id >> 16) & 0xFF,
+              (node_id >> 8) & 0xFF, node_id & 0xFF]
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+def format_ip(node_id: int, subnet: str = "10.0") -> str:
+    """Render a node id as an address in the testbed's 10.0/16."""
+    if node_id < 0 or node_id > 0xFFFF:
+        raise ValueError(f"node id out of /16 range: {node_id}")
+    return f"{subnet}.{(node_id >> 8) & 0xFF}.{node_id & 0xFF}"
+
+
+class NodeIdAllocator:
+    """Hands out unique node ids, grouped by role for readable traces.
+
+    Roles get disjoint ranges: controller/servers from 1, APs from 100,
+    clients from 200.  Ranges are generous; overflow raises.
+    """
+
+    _RANGES = {"infra": (1, 99), "ap": (100, 199), "client": (200, 299)}
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, itertools.count] = {
+            role: itertools.count(start) for role, (start, _end) in self._RANGES.items()
+        }
+
+    def allocate(self, role: str) -> int:
+        if role not in self._RANGES:
+            raise ValueError(f"unknown role {role!r}; use one of {sorted(self._RANGES)}")
+        node_id = next(self._counters[role])
+        _start, end = self._RANGES[role]
+        if node_id > end:
+            raise RuntimeError(f"exhausted node id range for role {role!r}")
+        return node_id

@@ -1,0 +1,111 @@
+"""Ethernet backhaul connecting the controller and the APs.
+
+The testbed wires every AP and the controller into one switched gigabit
+LAN.  We model it as a star: each endpoint registers with the
+:class:`Backhaul`, and `send` delivers a packet to the destination after
+propagation + serialization + a small forwarding jitter.  Control packets
+can additionally be dropped with a configurable probability -- the paper's
+switching protocol carries a 30 ms retransmission timeout precisely
+because stop/start/ack packets may be lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from .packet import Packet
+
+__all__ = ["Backhaul", "BackhaulEndpoint", "BackhaulParams"]
+
+#: Receiver callback signature: (packet, src_node_id).
+BackhaulEndpoint = Callable[[Packet, int], None]
+
+
+@dataclass
+class BackhaulParams:
+    """Latency/loss model of the switched LAN.
+
+    ``base_latency_s`` covers propagation plus kernel/Click forwarding on
+    both ends; ``jitter_s`` is a uniform spread on top.  ``bandwidth_bps``
+    adds per-byte serialization (gigabit by default, so ~12 us per 1500 B
+    frame).  ``loss_probability`` applies to every backhaul packet.
+    """
+
+    base_latency_s: float = 300e-6
+    jitter_s: float = 100e-6
+    bandwidth_bps: float = 1e9
+    loss_probability: float = 0.0
+
+
+class Backhaul:
+    """Star-topology wired network between controller and APs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        params: Optional[BackhaulParams] = None,
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.params = params or BackhaulParams()
+        self._endpoints: Dict[int, BackhaulEndpoint] = {}
+        #: Last scheduled delivery time per (src, dst): switched Ethernet
+        #: never reorders frames within one flow, so jittered latencies are
+        #: clamped to be monotone per pair.
+        self._last_delivery: Dict[tuple, float] = {}
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.bytes_sent = 0
+
+    def register(self, node_id: int, receive: BackhaulEndpoint) -> None:
+        """Attach an endpoint; ``receive(packet, src)`` is called on delivery."""
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already registered on backhaul")
+        self._endpoints[node_id] = receive
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self._endpoints
+
+    def send(self, src: int, dst: int, packet: Packet) -> None:
+        """Queue ``packet`` from ``src`` to ``dst`` across the LAN.
+
+        Unknown destinations raise immediately: backhaul membership is
+        static in the testbed, so a miss is a wiring bug, not packet loss.
+        """
+        if dst not in self._endpoints:
+            raise KeyError(f"node {dst} is not on the backhaul")
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        if self.params.loss_probability > 0.0 and (
+            self.rng.random() < self.params.loss_probability
+        ):
+            self.packets_lost += 1
+            return
+        latency = (
+            self.params.base_latency_s
+            + float(self.rng.uniform(0.0, self.params.jitter_s))
+            + packet.size_bytes * 8.0 / self.params.bandwidth_bps
+        )
+        deliver_at = self.sim.now + latency
+        key = (src, dst)
+        previous = self._last_delivery.get(key, -1.0)
+        if deliver_at <= previous:
+            deliver_at = previous + 1e-9  # FIFO per pair: no reordering
+        self._last_delivery[key] = deliver_at
+        receive = self._endpoints[dst]
+        self.sim.schedule_at(deliver_at, receive, packet, src)
+
+    def broadcast(self, src: int, packet_factory: Callable[[], Packet]) -> None:
+        """Send a fresh copy of a packet to every other endpoint.
+
+        ``packet_factory`` is invoked per destination so each copy is an
+        independent object (association-state sync uses this).
+        """
+        for node_id in list(self._endpoints):
+            if node_id != src:
+                self.send(src, node_id, packet_factory())

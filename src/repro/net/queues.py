@@ -1,0 +1,118 @@
+"""Queue primitives for the AP packet pipeline (Fig. 7 of the paper).
+
+A WGTT AP buffers packets in four places on the downlink path::
+
+    backhaul rx -> [cyclic queue (repro.core.cyclic_queue)]
+                -> [driver transmit queue]  (~200 packets)
+                -> [NIC hardware queue]     (~2 aggregates)
+                -> air
+
+The driver/NIC stages are plain drop-tail FIFOs modelled here; the cyclic
+queue is WGTT-specific and lives in :mod:`repro.core.cyclic_queue`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+__all__ = ["DropTailQueue", "QueueStats"]
+
+T = TypeVar("T")
+
+
+class QueueStats:
+    """Counters shared by every queue type."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"QueueStats(enq={self.enqueued}, deq={self.dequeued}, "
+            f"drop={self.dropped})"
+        )
+
+
+class DropTailQueue(Generic[T]):
+    """Bounded FIFO that drops arrivals when full (standard drop-tail).
+
+    ``None`` capacity means unbounded (used for the controller-side socket
+    buffer whose pressure is exerted by TCP's window instead).
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.stats = QueueStats()
+
+    def enqueue(self, item: T) -> bool:
+        """Add to the tail.  Returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._items.append(item)
+        self.stats.enqueued += 1
+        return True
+
+    def requeue_front(self, item: T) -> None:
+        """Push back to the head (retransmissions); never drops."""
+        self._items.appendleft(item)
+
+    def dequeue(self) -> Optional[T]:
+        """Pop the head, or None when empty."""
+        if not self._items:
+            return None
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def drain(self) -> List[T]:
+        """Remove and return everything (queue flush)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def remove_if(self, predicate: Callable[[T], bool]) -> int:
+        """Filter out matching items (the stop(c) driver-queue filter).
+
+        Returns how many were removed.
+        """
+        kept = [x for x in self._items if not predicate(x)]
+        removed = len(self._items) - len(kept)
+        self._items = deque(kept)
+        return removed
+
+    def extend(self, items: Iterable[T]) -> int:
+        """Enqueue many; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.enqueue(item):
+                accepted += 1
+        return accepted
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cap = self.capacity if self.capacity is not None else "inf"
+        return f"<DropTailQueue {self.name!r} {len(self._items)}/{cap}>"

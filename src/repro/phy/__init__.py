@@ -1,0 +1,70 @@
+"""Physical-layer substrate: path loss, antennas, fading, CSI, ESNR, MCS.
+
+This package replaces the testbed radio hardware (TP-Link N750 + Laird
+parabolic antennas + the Atheros CSI tool) with a calibrated statistical
+model of the same quantities.  See DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from .antenna import OmniAntenna, ParabolicAntenna, angle_between_deg
+from .channel import Link, RadioParams
+from .csi import CSIReading
+from .esnr import effective_snr_db, invert_ber
+from .fading import (
+    TappedDelayChannel,
+    RayleighTap,
+    coherence_time_s,
+    doppler_hz,
+    ht20_subcarrier_freqs,
+)
+from .mcs import (
+    MCS_TABLE,
+    McsEntry,
+    best_mcs_for_esnr,
+    expected_throughput_mbps,
+    link_capacity_mbps,
+    pdr,
+)
+from .modulation import (
+    BER_FUNCTIONS,
+    Constellation,
+    ber_bpsk,
+    ber_qam16,
+    ber_qam64,
+    ber_qpsk,
+    db_to_linear,
+    linear_to_db,
+)
+from .pathloss import LogDistancePathLoss, free_space_path_loss_db
+
+__all__ = [
+    "OmniAntenna",
+    "ParabolicAntenna",
+    "angle_between_deg",
+    "Link",
+    "RadioParams",
+    "CSIReading",
+    "effective_snr_db",
+    "invert_ber",
+    "TappedDelayChannel",
+    "RayleighTap",
+    "coherence_time_s",
+    "doppler_hz",
+    "ht20_subcarrier_freqs",
+    "MCS_TABLE",
+    "McsEntry",
+    "best_mcs_for_esnr",
+    "expected_throughput_mbps",
+    "link_capacity_mbps",
+    "pdr",
+    "BER_FUNCTIONS",
+    "Constellation",
+    "ber_bpsk",
+    "ber_qam16",
+    "ber_qam64",
+    "ber_qpsk",
+    "db_to_linear",
+    "linear_to_db",
+    "LogDistancePathLoss",
+    "free_space_path_loss_db",
+]

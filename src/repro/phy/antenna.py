@@ -1,0 +1,125 @@
+"""Antenna gain patterns.
+
+Each testbed AP uses a Laird 14 dBi parabolic grid antenna with a 21-degree
+3 dB beamwidth, aimed at the road.  The narrow main lobe is what creates the
+meter-scale picocells: a car a few metres past boresight falls off the main
+lobe and the link collapses even though the geometric distance barely
+changed.  Clients use (approximately) omnidirectional antennas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["ParabolicAntenna", "OmniAntenna", "angle_between_deg"]
+
+Vec3 = Tuple[float, float, float]
+
+
+def _normalize(v: Vec3) -> Vec3:
+    norm = math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2)
+    if norm == 0.0:
+        raise ValueError("zero-length direction vector")
+    return (v[0] / norm, v[1] / norm, v[2] / norm)
+
+
+def angle_between_deg(a: Sequence[float], b: Sequence[float]) -> float:
+    """Angle between two 3-vectors in degrees, in [0, 180]."""
+    ax, ay, az = _normalize((a[0], a[1], a[2]))
+    bx, by, bz = _normalize((b[0], b[1], b[2]))
+    dot = max(-1.0, min(1.0, ax * bx + ay * by + az * bz))
+    return math.degrees(math.acos(dot))
+
+
+class OmniAntenna:
+    """Idealised omnidirectional antenna with a flat gain."""
+
+    def __init__(self, gain_dbi: float = 0.0):
+        self.gain_dbi = gain_dbi
+        self.peak_gain_dbi = gain_dbi
+
+    def gain_db(self, off_boresight_deg: float) -> float:
+        return self.gain_dbi
+
+    def gain_towards(self, from_pos: Vec3, to_pos: Vec3) -> float:
+        return self.gain_dbi
+
+
+class ParabolicAntenna:
+    """Parabolic antenna with a quadratic main lobe and a side-lobe floor.
+
+    The main lobe follows the standard parabolic approximation
+    ``G(theta) = G0 - 12 * (theta / theta_3dB)^2`` dB, clamped at
+    ``G0 - sidelobe_down_db`` once the quadratic roll-off exceeds the
+    side-lobe level (ITU-R F.699-style).
+
+    Parameters
+    ----------
+    peak_gain_dbi:
+        Boresight gain (14 dBi for the Laird GD24BP).
+    beamwidth_deg:
+        Full 3 dB beamwidth.  The Laird GD24BP is 21 degrees in azimuth
+        and 17 degrees in elevation; the roadside geometry mixes both
+        planes, and 17 reproduces the paper's 5.2 m cell size.
+    sidelobe_down_db:
+        How far below boresight the side-lobe floor sits.
+    boresight:
+        Direction the antenna points, as a 3-vector (need not be unit).
+    """
+
+    def __init__(
+        self,
+        peak_gain_dbi: float = 14.0,
+        beamwidth_deg: float = 17.0,
+        sidelobe_down_db: float = 30.0,
+        boresight: Vec3 = (0.0, 1.0, 0.0),
+    ):
+        if beamwidth_deg <= 0:
+            raise ValueError("beamwidth must be positive")
+        if sidelobe_down_db < 0:
+            raise ValueError("side-lobe attenuation cannot be negative")
+        self.peak_gain_dbi = peak_gain_dbi
+        self.beamwidth_deg = beamwidth_deg
+        self.sidelobe_down_db = sidelobe_down_db
+        self.boresight = _normalize(boresight)
+
+    def gain_db(self, off_boresight_deg: float) -> float:
+        """Gain in dBi at ``off_boresight_deg`` degrees off the main axis."""
+        theta = abs(off_boresight_deg)
+        half_beamwidth = self.beamwidth_deg / 2.0
+        # Quadratic main lobe: 3 dB down at the half-beamwidth edge.
+        rolloff = 3.0 * (theta / half_beamwidth) ** 2
+        return self.peak_gain_dbi - min(rolloff, self.sidelobe_down_db)
+
+    def gain_towards(self, from_pos: Vec3, to_pos: Vec3) -> float:
+        """Gain in dBi from the antenna at ``from_pos`` towards ``to_pos``."""
+        direction = (
+            to_pos[0] - from_pos[0],
+            to_pos[1] - from_pos[1],
+            to_pos[2] - from_pos[2],
+        )
+        theta = angle_between_deg(direction, self.boresight)
+        return self.gain_db(theta)
+
+    @classmethod
+    def aimed_at(
+        cls,
+        position: Vec3,
+        target: Vec3,
+        peak_gain_dbi: float = 14.0,
+        beamwidth_deg: float = 17.0,
+        sidelobe_down_db: float = 30.0,
+    ) -> "ParabolicAntenna":
+        """Build an antenna at ``position`` whose boresight points at ``target``."""
+        boresight = (
+            target[0] - position[0],
+            target[1] - position[1],
+            target[2] - position[2],
+        )
+        return cls(
+            peak_gain_dbi=peak_gain_dbi,
+            beamwidth_deg=beamwidth_deg,
+            sidelobe_down_db=sidelobe_down_db,
+            boresight=boresight,
+        )

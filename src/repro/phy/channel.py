@@ -1,0 +1,197 @@
+"""Composite link channel: geometry + path loss + antennas + fast fading.
+
+One :class:`Link` models the (reciprocal) radio channel between an AP and a
+mobile client.  Large-scale gain follows the client's trajectory through
+the AP's antenna pattern; small-scale gain is the tapped Rayleigh process
+from :mod:`repro.phy.fading`.  All the quantities the rest of the system
+needs -- mean SNR, per-packet CSI, ESNR, per-MPDU delivery probability --
+are derived here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .antenna import OmniAntenna, ParabolicAntenna
+from .csi import CSIReading
+from .esnr import DEFAULT_ESNR_CONSTELLATION, effective_snr_db, subcarrier_snr_db_from_csi
+from .fading import TappedDelayChannel, doppler_hz
+from .mcs import McsEntry, link_capacity_mbps, pdr
+from .pathloss import LogDistancePathLoss
+
+__all__ = ["RadioParams", "Link"]
+
+Vec3 = Tuple[float, float, float]
+PositionFn = Callable[[float], Vec3]
+
+
+@dataclass
+class RadioParams:
+    """Link-budget constants shared by every AP in a deployment.
+
+    Defaults are calibrated so that a static client at boresight sees
+    ~35 dB mean SNR and the usable cell (ESNR above the MCS0 threshold)
+    spans roughly 8-10 m along the road with 6-10 m overlap between
+    adjacent APs, matching the heatmap in Fig. 10.
+    """
+
+    freq_hz: float = 2.462e9
+    ap_tx_power_dbm: float = 18.0
+    client_tx_power_dbm: float = 15.0
+    noise_floor_dbm: float = -92.0
+    pathloss_exponent: float = 2.8
+    penetration_loss_db: float = 14.0  # third-floor window + cabling/splitter
+    client_antenna_gain_dbi: float = 0.0
+    #: Rician K factor (linear) of the direct-path tap.  The parabolic
+    #: antenna keeps a strong LoS component on the road, so the channel is
+    #: Rician rather than pure Rayleigh; K=4 (~6 dB) matches the ~10 dB
+    #: ESNR swings visible in Fig. 2 of the paper.
+    rician_k: float = 4.0
+    #: Log-normal shadowing standard deviation (dB).  0 disables; the
+    #: shadowing robustness benchmark turns it on.
+    shadowing_sigma_db: float = 0.0
+    shadowing_decorrelation_m: float = 5.0
+
+
+class Link:
+    """The radio channel between one AP and one client.
+
+    Parameters
+    ----------
+    ap_position / ap_antenna:
+        Where the AP is and how its parabolic antenna is aimed.
+    client_position_fn:
+        Maps simulation time to the client's (x, y, z) position.
+    speed_mps:
+        Client ground speed; sets the Doppler spread of the fading process.
+    rng:
+        Numpy Generator; each link gets independent fading.
+    """
+
+    def __init__(
+        self,
+        ap_position: Vec3,
+        ap_antenna: ParabolicAntenna,
+        client_position_fn: PositionFn,
+        speed_mps: float,
+        rng: np.random.Generator,
+        params: Optional[RadioParams] = None,
+        n_subcarriers: int = 56,
+    ):
+        self.params = params or RadioParams()
+        self.ap_position = ap_position
+        self.ap_antenna = ap_antenna
+        self.client_position_fn = client_position_fn
+        self.client_antenna = OmniAntenna(self.params.client_antenna_gain_dbi)
+        self.pathloss = LogDistancePathLoss(
+            freq_hz=self.params.freq_hz,
+            exponent=self.params.pathloss_exponent,
+            extra_loss_db=self.params.penetration_loss_db,
+        )
+        self.fading = TappedDelayChannel(
+            rng,
+            doppler_hz(speed_mps, self.params.freq_hz),
+            rician_k=self.params.rician_k,
+        )
+        if self.params.shadowing_sigma_db > 0.0:
+            from .shadowing import ShadowingField
+
+            self.shadowing: Optional[ShadowingField] = ShadowingField(
+                rng,
+                sigma_db=self.params.shadowing_sigma_db,
+                decorrelation_m=self.params.shadowing_decorrelation_m,
+            )
+        else:
+            self.shadowing = None
+        self.n_subcarriers = n_subcarriers
+
+    # ------------------------------------------------------------ large scale
+    def distance_m(self, t: float) -> float:
+        cx, cy, cz = self.client_position_fn(t)
+        ax, ay, az = self.ap_position
+        return math.sqrt((cx - ax) ** 2 + (cy - ay) ** 2 + (cz - az) ** 2)
+
+    def mean_snr_db(self, t: float, uplink: bool = False) -> float:
+        """Large-scale mean SNR (dB) at time ``t``.
+
+        The channel is reciprocal; uplink and downlink differ only in
+        transmit power (client radios transmit at lower power).
+        """
+        client_pos = self.client_position_fn(t)
+        tx_power = (
+            self.params.client_tx_power_dbm if uplink else self.params.ap_tx_power_dbm
+        )
+        gain_ap = self.ap_antenna.gain_towards(self.ap_position, client_pos)
+        gain_client = self.params.client_antenna_gain_dbi
+        loss = self.pathloss.loss_db(self.distance_m(t))
+        rx_power = tx_power + gain_ap + gain_client - loss
+        if self.shadowing is not None:
+            rx_power += self.shadowing.gain_db(client_pos[0])
+        return rx_power - self.params.noise_floor_dbm
+
+    def rx_power_dbm(self, t: float, uplink: bool = False) -> float:
+        """Mean received power in dBm (used for capture/collision decisions)."""
+        return self.mean_snr_db(t, uplink=uplink) + self.params.noise_floor_dbm
+
+    # ------------------------------------------------------------ small scale
+    def csi(self, t: float) -> np.ndarray:
+        """Instantaneous complex subcarrier gains (unit mean power)."""
+        return self.fading.subcarrier_gains(t)
+
+    def subcarrier_snr_db(self, t: float, uplink: bool = False) -> np.ndarray:
+        return subcarrier_snr_db_from_csi(
+            self.csi(t), self.mean_snr_db(t, uplink=uplink)
+        )
+
+    def esnr_db(
+        self,
+        t: float,
+        uplink: bool = False,
+        constellation: str = DEFAULT_ESNR_CONSTELLATION,
+    ) -> float:
+        """Instantaneous effective SNR of the link."""
+        return effective_snr_db(
+            self.subcarrier_snr_db(t, uplink=uplink), constellation
+        )
+
+    def rssi_db(self, t: float, uplink: bool = False) -> float:
+        """Wideband received-SNR proxy: mean SNR plus the flat fading gain.
+
+        This is the quantity a beacon-scanning client observes -- blind to
+        frequency selectivity, which is the baseline's handicap.
+        """
+        from .modulation import linear_to_db
+
+        h = self.fading.flat_gain(t)
+        power = max(abs(h) ** 2, 1e-12)
+        return self.mean_snr_db(t, uplink=uplink) + float(linear_to_db(power))
+
+    def capacity_mbps(self, t: float) -> float:
+        """Ideal-rate-control expected PHY throughput right now (downlink)."""
+        return link_capacity_mbps(self.esnr_db(t))
+
+    # ------------------------------------------------------- packet delivery
+    def mpdu_success_probability(
+        self, t: float, mcs: McsEntry, n_bytes: int = 1500, uplink: bool = False
+    ) -> float:
+        """Probability one MPDU at ``mcs`` gets through at time ``t``.
+
+        Uses the system-wide ESNR metric (the PDR thresholds in
+        :mod:`repro.phy.mcs` are calibrated against it).
+        """
+        esnr = self.esnr_db(t, uplink=uplink)
+        return pdr(esnr, mcs, n_bytes=n_bytes)
+
+    def measure_csi(self, t: float, ap_id: int, client_id: int) -> CSIReading:
+        """Produce the CSI reading an AP would report for an uplink frame."""
+        return CSIReading(
+            time=t,
+            ap_id=ap_id,
+            client_id=client_id,
+            csi=self.csi(t),
+            mean_snr_db=self.mean_snr_db(t, uplink=True),
+        )

@@ -1,0 +1,113 @@
+"""802.11n single-stream MCS table and packet-delivery model.
+
+The testbed APs are HT20 single-spatial-stream (the splitter combines all
+three radio chains into one directional antenna), short guard interval,
+giving PHY rates of 7.2-72.2 Mbit/s -- consistent with the ~70 Mbit/s
+90th-percentile link rate in Fig. 16 of the paper.
+
+Delivery model
+--------------
+Per-MPDU delivery probability is a logistic curve in ESNR:
+
+``PDR(esnr) = 1 / (1 + exp(-(esnr - threshold_mcs) / scale))``
+
+with thresholds calibrated from the uncoded BER curves (the SNR at which
+the constellation+code first sustains ~10% PER for a 1500 B frame, the
+usual rate-selection operating point).  A logistic in effective SNR is the
+standard abstraction for coded OFDM links and preserves the property the
+paper relies on: delivery collapses over a few dB, so picking the right AP
+matters much more than picking the right bit rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .modulation import Constellation
+
+__all__ = ["McsEntry", "MCS_TABLE", "pdr", "best_mcs_for_esnr", "expected_throughput_mbps", "link_capacity_mbps"]
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One modulation-and-coding scheme.
+
+    ``pdr_threshold_db`` is the ESNR midpoint of the logistic delivery
+    curve; ``pdr_scale_db`` its width parameter.
+    """
+
+    index: int
+    constellation: str
+    coding_rate: float
+    phy_rate_mbps: float
+    pdr_threshold_db: float
+    pdr_scale_db: float = 1.0
+
+    def data_bits_per_us(self) -> float:
+        return self.phy_rate_mbps  # 1 Mbit/s == 1 bit/us
+
+
+# HT20, 1 spatial stream, short guard interval (400 ns).
+MCS_TABLE: List[McsEntry] = [
+    McsEntry(0, Constellation.BPSK, 1 / 2, 7.2, 4.0),
+    McsEntry(1, Constellation.QPSK, 1 / 2, 14.4, 7.0),
+    McsEntry(2, Constellation.QPSK, 3 / 4, 21.7, 10.0),
+    McsEntry(3, Constellation.QAM16, 1 / 2, 28.9, 13.0),
+    McsEntry(4, Constellation.QAM16, 3 / 4, 43.3, 16.5),
+    McsEntry(5, Constellation.QAM64, 2 / 3, 57.8, 21.0),
+    McsEntry(6, Constellation.QAM64, 3 / 4, 65.0, 22.5),
+    McsEntry(7, Constellation.QAM64, 5 / 6, 72.2, 24.5),
+]
+
+
+def pdr(esnr_db: float, mcs: McsEntry, n_bytes: int = 1500) -> float:
+    """Per-MPDU delivery probability at ``esnr_db`` for ``mcs``.
+
+    The logistic midpoint is calibrated for 1500-byte MPDUs; shorter frames
+    get a small threshold credit (fewer bits at risk), longer aggregates
+    are handled per-MPDU by the MAC.
+    """
+    threshold = mcs.pdr_threshold_db
+    if n_bytes != 1500 and n_bytes > 0:
+        # 10*log10 scaling of the bits-at-risk ratio, bounded to +-2 dB.
+        delta = 10.0 * math.log10(n_bytes / 1500.0) * 0.3
+        threshold += max(-2.0, min(2.0, delta))
+    x = (esnr_db - threshold) / mcs.pdr_scale_db
+    if x > 35.0:
+        return 1.0
+    if x < -35.0:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def best_mcs_for_esnr(
+    esnr_db: float,
+    min_pdr: float = 0.9,
+    table: Sequence[McsEntry] = tuple(MCS_TABLE),
+) -> McsEntry:
+    """Highest-rate MCS whose predicted PDR meets ``min_pdr``.
+
+    Falls back to MCS 0 when even the most robust rate misses the target
+    (the sender has to try *something*).
+    """
+    chosen = table[0]
+    for entry in table:
+        if pdr(esnr_db, entry) >= min_pdr:
+            chosen = entry
+    return chosen
+
+
+def expected_throughput_mbps(esnr_db: float, mcs: McsEntry) -> float:
+    """PHY rate discounted by delivery probability (no MAC overhead)."""
+    return mcs.phy_rate_mbps * pdr(esnr_db, mcs)
+
+
+def link_capacity_mbps(esnr_db: float, table: Sequence[McsEntry] = tuple(MCS_TABLE)) -> float:
+    """Best achievable expected PHY throughput at ``esnr_db``.
+
+    This is the 'channel capacity' proxy used for the paper's capacity-loss
+    metric (Figs. 4 and 21): the rate an ideal rate controller would get.
+    """
+    return max(expected_throughput_mbps(esnr_db, entry) for entry in table)

@@ -1,0 +1,88 @@
+"""Uncoded bit-error-rate curves for the 802.11 constellations.
+
+These are the standard AWGN expressions used by Halperin et al.'s Effective
+SNR work ("Predictable 802.11 packet delivery from wireless channel
+measurements", SIGCOMM 2010), which the paper adopts for AP selection.
+
+All functions take SNR as a *linear* ratio (not dB) and are vectorised over
+numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+from scipy.special import erfc
+
+__all__ = [
+    "Constellation",
+    "ber_bpsk",
+    "ber_qpsk",
+    "ber_qam16",
+    "ber_qam64",
+    "BER_FUNCTIONS",
+    "db_to_linear",
+    "linear_to_db",
+]
+
+
+def db_to_linear(db):
+    """Convert decibels to a linear power ratio (vectorised)."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to decibels (vectorised, floors at 1e-12)."""
+    return 10.0 * np.log10(np.maximum(np.asarray(linear, dtype=float), 1e-12))
+
+
+def _q(x):
+    """Gaussian tail function Q(x) = 0.5 * erfc(x / sqrt(2))."""
+    return 0.5 * erfc(np.asarray(x, dtype=float) / math.sqrt(2.0))
+
+
+def ber_bpsk(snr_linear):
+    """BPSK bit error rate: Q(sqrt(2*SNR))."""
+    snr = np.maximum(np.asarray(snr_linear, dtype=float), 0.0)
+    return _q(np.sqrt(2.0 * snr))
+
+
+def ber_qpsk(snr_linear):
+    """QPSK bit error rate: identical per-bit performance to BPSK."""
+    snr = np.maximum(np.asarray(snr_linear, dtype=float), 0.0)
+    return _q(np.sqrt(snr))
+
+
+def ber_qam16(snr_linear):
+    """Gray-coded 16-QAM approximate BER: (3/4) * Q(sqrt(SNR / 5))."""
+    snr = np.maximum(np.asarray(snr_linear, dtype=float), 0.0)
+    return 0.75 * _q(np.sqrt(snr / 5.0))
+
+
+def ber_qam64(snr_linear):
+    """Gray-coded 64-QAM approximate BER: (7/12) * Q(sqrt(SNR / 21))."""
+    snr = np.maximum(np.asarray(snr_linear, dtype=float), 0.0)
+    return (7.0 / 12.0) * _q(np.sqrt(snr / 21.0))
+
+
+class Constellation:
+    """Names for the constellations used by 802.11n MCS 0-7."""
+
+    BPSK = "bpsk"
+    QPSK = "qpsk"
+    QAM16 = "qam16"
+    QAM64 = "qam64"
+
+    ALL = (BPSK, QPSK, QAM16, QAM64)
+
+    BITS_PER_SYMBOL = {BPSK: 1, QPSK: 2, QAM16: 4, QAM64: 6}
+
+
+BER_FUNCTIONS: Dict[str, Callable] = {
+    Constellation.BPSK: ber_bpsk,
+    Constellation.QPSK: ber_qpsk,
+    Constellation.QAM16: ber_qam16,
+    Constellation.QAM64: ber_qam64,
+}

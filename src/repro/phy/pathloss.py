@@ -1,0 +1,81 @@
+"""Large-scale path loss models.
+
+The roadside link budget in the paper is set by three things: distance
+(log-distance path loss), the 14 dBi / 21-degree parabolic antenna
+(:mod:`repro.phy.antenna`), and building/window penetration on the way out
+of the third-floor office.  This module covers the distance term.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LogDistancePathLoss", "free_space_path_loss_db", "SPEED_OF_LIGHT"]
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+def free_space_path_loss_db(distance_m: float, freq_hz: float) -> float:
+    """Free-space path loss (Friis) in dB at ``distance_m`` metres.
+
+    Distances below one metre are clamped to avoid a singularity at the
+    antenna; the model is not meaningful in the reactive near field anyway.
+    """
+    d = max(distance_m, 1.0)
+    wavelength = SPEED_OF_LIGHT / freq_hz
+    return 20.0 * math.log10(4.0 * math.pi * d / wavelength)
+
+
+class LogDistancePathLoss:
+    """Log-distance path loss with a free-space reference at ``d0``.
+
+    ``PL(d) = PL_fs(d0) + 10 * n * log10(d / d0) + extra_loss_db``
+
+    Parameters
+    ----------
+    exponent:
+        Path loss exponent ``n``.  2.0 is free space; urban street canyons
+        are typically 2.7-3.5.  The testbed default of 2.8 is calibrated so
+        the simulated ESNR heatmap matches the shape of Fig. 10.
+    reference_distance_m:
+        ``d0`` for the free-space reference segment.
+    extra_loss_db:
+        Fixed additional losses: window penetration from the third-floor
+        office, cabling and splitter losses.
+    """
+
+    def __init__(
+        self,
+        freq_hz: float = 2.462e9,  # channel 11
+        exponent: float = 2.8,
+        reference_distance_m: float = 1.0,
+        extra_loss_db: float = 0.0,
+    ):
+        if exponent <= 0:
+            raise ValueError(f"path loss exponent must be positive, got {exponent}")
+        if reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+        self.freq_hz = freq_hz
+        self.exponent = exponent
+        self.reference_distance_m = reference_distance_m
+        self.extra_loss_db = extra_loss_db
+        self._pl0 = free_space_path_loss_db(reference_distance_m, freq_hz)
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.freq_hz
+
+    def loss_db(self, distance_m: float) -> float:
+        """Total path loss in dB at ``distance_m`` metres."""
+        d = max(distance_m, self.reference_distance_m)
+        return (
+            self._pl0
+            + 10.0 * self.exponent * math.log10(d / self.reference_distance_m)
+            + self.extra_loss_db
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"LogDistancePathLoss(f={self.freq_hz/1e9:.3f} GHz, n={self.exponent}, "
+            f"extra={self.extra_loss_db} dB)"
+        )

@@ -1,0 +1,14 @@
+"""Discrete-event simulation core: engine, tracing, wireless medium."""
+
+from .engine import EventHandle, PeriodicTask, SimulationError, Simulator, time_close
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTask",
+    "SimulationError",
+    "Simulator",
+    "time_close",
+    "TraceRecord",
+    "TraceRecorder",
+]

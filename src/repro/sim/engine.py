@@ -1,0 +1,272 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic priority-queue event loop.  Everything in the
+reproduction -- frame airtime, backhaul latency, protocol timeouts, TCP
+retransmission timers -- is expressed as callbacks scheduled on a single
+:class:`Simulator` instance.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  Sub-microsecond deltas occur (OFDM
+  symbol boundaries), so callers should never compare times with ``==``;
+  use :func:`repro.sim.engine.time_close` instead.
+* Events scheduled for the same instant fire in scheduling order (a
+  monotonically increasing sequence number breaks ties), which makes the
+  simulation fully deterministic for a fixed RNG seed.
+* Events are cancellable: :meth:`Simulator.schedule` returns an
+  :class:`EventHandle` whose :meth:`~EventHandle.cancel` marks the heap
+  entry dead.  Dead entries are skipped on pop (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "PeriodicTask", "Simulator", "SimulationError", "time_close"]
+
+#: Tolerance used when comparing simulation timestamps.
+TIME_EPSILON = 1e-12
+
+
+def time_close(a: float, b: float, eps: float = 1e-9) -> bool:
+    """Return True when two simulation timestamps are effectively equal."""
+    return abs(a - b) <= eps
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are returned by :meth:`Simulator.schedule`; user code should
+    never construct them directly.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event.  Safe to call more than once or after firing."""
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.fn is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"<EventHandle t={self.time:.9f} {name} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for budget accounting/tests)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled at the current instant.
+        """
+        if delay < 0:
+            if delay < -TIME_EPSILON:
+                raise SimulationError(f"cannot schedule {delay} s in the past")
+            delay = 0.0
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation time ``when``."""
+        if when < self._now - TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule at t={when} (now is t={self._now})"
+            )
+        if not callable(fn):
+            raise TypeError(f"event callback must be callable, got {fn!r}")
+        handle = EventHandle(max(when, self._now), next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, mirroring how a wall-clock
+        experiment of fixed duration behaves.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until + TIME_EPSILON:
+                    break
+                heapq.heappop(self._heap)
+                self._now = max(self._now, ev.time)
+                fn, args = ev.fn, ev.args
+                ev.fn, ev.args = None, ()  # mark as fired
+                assert fn is not None
+                fn(*args)
+                self._events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = max(self._now, ev.time)
+            fn, args = ev.fn, ev.args
+            ev.fn, ev.args = None, ()
+            assert fn is not None
+            fn(*args)
+            self._events_fired += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every pending event (the clock is left where it is)."""
+        for ev in self._heap:
+            ev.cancel()
+        self._heap.clear()
+
+    # ------------------------------------------------------------- utilities
+    def call_every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        jitter: float = 0.0,
+        rng: Any = None,
+        until: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``fn(*args)`` every ``interval`` seconds (plus optional
+        uniform jitter drawn from ``rng``), starting one interval from now.
+
+        Returns a :class:`PeriodicTask` that can be stopped.
+        """
+        if interval <= 0 or not math.isfinite(interval):
+            raise SimulationError(f"interval must be positive and finite, got {interval}")
+        return PeriodicTask(self, interval, fn, args, jitter=jitter, rng=rng, until=until)
+
+
+class PeriodicTask:
+    """Helper that reschedules a callback on a fixed cadence.
+
+    Created through :meth:`Simulator.call_every`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        jitter: float = 0.0,
+        rng: Any = None,
+        until: Optional[float] = None,
+    ):
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._args = args
+        self._jitter = jitter
+        self._rng = rng
+        self._until = until
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        self._arm()
+
+    def _arm(self) -> None:
+        delay = self._interval
+        if self._jitter > 0.0 and self._rng is not None:
+            delay += self._rng.uniform(0.0, self._jitter)
+        when = self._sim.now + delay
+        if self._until is not None and when > self._until:
+            self._stopped = True
+            return
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fn(*self._args)
+        if not self._stopped:
+            self._arm()
+
+    def stop(self) -> None:
+        """Stop the periodic task; pending firing is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,82 @@
+"""Event tracing for post-hoc analysis.
+
+Every experiment in the paper is an offline analysis of a ``tcpdump``
+capture.  The simulated equivalent is a :class:`TraceRecorder`: components
+emit typed records (packet delivered, AP switch, BA lost, ...) and the
+metrics layer (:mod:`repro.experiments.metrics`) consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event emitted by a simulation component.
+
+    ``kind`` is a short lowercase tag (``"dl_delivered"``, ``"ap_switch"``,
+    ``"ba_lost"`` ...); ``fields`` carries kind-specific data.
+    """
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` instances during a run.
+
+    Recording can be limited to a set of kinds to bound memory in long
+    sweeps; counters are always maintained for every kind seen.
+    """
+
+    def __init__(self, keep_kinds: Optional[set] = None):
+        self._records: List[TraceRecord] = []
+        self._keep_kinds = keep_kinds
+        self.counters: Dict[str, int] = {}
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event of ``kind`` at simulation time ``time``."""
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if self._keep_kinds is None or kind in self._keep_kinds:
+            self._records.append(TraceRecord(time, kind, fields))
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` seen (recorded or not)."""
+        return self.counters.get(kind, 0)
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """All stored records, optionally filtered by kind."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def iter_records(self, kind: Optional[str] = None) -> Iterator[TraceRecord]:
+        for r in self._records:
+            if kind is None or r.kind == kind:
+                yield r
+
+    def times(self, kind: str) -> List[float]:
+        """Timestamps of every stored record of ``kind``."""
+        return [r.time for r in self._records if r.kind == kind]
+
+    def values(self, kind: str, field_name: str) -> List[Any]:
+        """Extract one field from every stored record of ``kind``."""
+        return [r.fields[field_name] for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.counters.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

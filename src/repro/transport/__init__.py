@@ -1,0 +1,13 @@
+"""Transport substrate: TCP Reno/NewReno and UDP constant-bit-rate flows."""
+
+from .tcp import MSS_BYTES, TcpReceiver, TcpSender
+from .udp import UDP_PAYLOAD_BYTES, UdpReceiver, UdpSender
+
+__all__ = [
+    "MSS_BYTES",
+    "TcpReceiver",
+    "TcpSender",
+    "UDP_PAYLOAD_BYTES",
+    "UdpReceiver",
+    "UdpSender",
+]

@@ -1,0 +1,403 @@
+"""A compact TCP Reno/NewReno implementation.
+
+The paper's headline results are TCP downloads, and the baseline's
+pathology is TCP-specific: when Enhanced 802.11r hands over late, the
+burst of losses triggers retransmission timeouts whose exponential backoff
+zeroes throughput (Fig. 14).  This sender reproduces that machinery:
+
+* byte-based cwnd with slow start and AIMD congestion avoidance,
+* fast retransmit / fast recovery with SACK-based hole retransmission
+  (switching between picocells loses short bursts, which cumulative-ACK
+  recovery alone turns into timeouts),
+* delayed ACKs (every second segment; immediate on out-of-order data),
+* RFC 6298 RTT estimation and RTO with exponential backoff (Karn's rule),
+* go-back-N after a timeout.
+
+It deliberately omits ECN and window-scaling negotiation; those do not
+change the qualitative behaviour under study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.packet import Packet
+from ..sim.engine import EventHandle, Simulator
+from ..sim.trace import TraceRecorder
+
+__all__ = ["TcpSender", "TcpReceiver", "MSS_BYTES"]
+
+MSS_BYTES = 1448
+SEGMENT_HEADER_BYTES = 40  # IP + TCP
+ACK_BYTES = 52  # IP + TCP with timestamp option
+
+SendFn = Callable[[Packet], None]
+
+
+class TcpSender:
+    """Bulk-data TCP sender (server side of a download).
+
+    Parameters
+    ----------
+    send_fn:
+        Where outgoing segments go (the controller's downlink entry).
+    app_limit_bytes:
+        Total bytes the application wants to send; None = unbounded bulk.
+    """
+
+    INITIAL_WINDOW_SEGMENTS = 10
+    MIN_RTO_S = 0.2
+    MAX_RTO_S = 60.0
+    #: Receive-window clamp (Linux default rmem scale): cwnd never grows
+    #: past this, bounding the in-flight data on any path.
+    MAX_WINDOW_BYTES = 2 * 1024 * 1024
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: SendFn,
+        src: int,
+        dst: int,
+        flow_id: int,
+        app_limit_bytes: Optional[int] = None,
+        trace: Optional[TraceRecorder] = None,
+        mss: int = MSS_BYTES,
+    ):
+        self.sim = sim
+        self.send_fn = send_fn
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.app_limit_bytes = app_limit_bytes
+        self.trace = trace
+        self.mss = mss
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = self.INITIAL_WINDOW_SEGMENTS * mss
+        self.ssthresh = 1 << 30
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0
+
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = 1.0
+        self._rtt_sample: Optional[tuple] = None  # (end_byte, send_time)
+        self._timer: Optional[EventHandle] = None
+        self._started = False
+        self._sacked: list = []  # (start, end) ranges the receiver holds
+        self._rtx_done: set = set()  # hole starts retransmitted this episode
+
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("TcpSender already started")
+        self._started = True
+        self._send_available()
+
+    @property
+    def flight_bytes(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.app_limit_bytes is not None
+            and self.snd_una >= self.app_limit_bytes
+        )
+
+    # ------------------------------------------------------------- send path
+    def _app_available(self) -> int:
+        if self.app_limit_bytes is None:
+            return 1 << 40
+        return max(0, self.app_limit_bytes - self.snd_nxt)
+
+    def _send_available(self) -> None:
+        while (
+            self.flight_bytes + self.mss <= self.cwnd
+            and self._app_available() > 0
+        ):
+            size = min(self.mss, self._app_available())
+            self._emit(self.snd_nxt, size, is_retransmit=False)
+            self.snd_nxt += size
+        self._ensure_timer()
+
+    def _emit(self, start_byte: int, size: int, is_retransmit: bool) -> None:
+        packet = Packet(
+            size_bytes=size + SEGMENT_HEADER_BYTES,
+            src=self.src,
+            dst=self.dst,
+            protocol="tcp",
+            flow_id=self.flow_id,
+            seq=start_byte,
+            created_at=self.sim.now,
+            payload=("seg", start_byte, start_byte + size),
+        )
+        self.segments_sent += 1
+        if is_retransmit:
+            self.retransmissions += 1
+            # Karn's rule: never sample RTT from a retransmitted segment.
+            if self._rtt_sample is not None and self._rtt_sample[0] <= start_byte + size:
+                self._rtt_sample = None
+        elif self._rtt_sample is None:
+            self._rtt_sample = (start_byte + size, self.sim.now)
+        self.send_fn(packet)
+
+    # -------------------------------------------------------------- ack path
+    def on_packet(self, packet: Packet, t: float) -> None:
+        """Feed an incoming (possibly duplicated) ACK to the sender."""
+        if packet.flow_id != self.flow_id or packet.payload is None:
+            return
+        payload = packet.payload
+        if payload[0] != "ack":
+            return
+        ack_byte = payload[1]
+        sacks = payload[2] if len(payload) > 2 else ()
+        for start, end in sacks:
+            if start > self.snd_una:
+                self._sacked.append((start, end))
+        if ack_byte > self.snd_una:
+            self._on_new_ack(ack_byte, t)
+        elif ack_byte == self.snd_una and self.flight_bytes > 0:
+            self._on_dupack(t)
+        self._send_available()
+
+    def _is_sacked(self, start: int, end: int) -> bool:
+        return any(s <= start and end <= e for s, e in self._sacked)
+
+    def _retransmit_holes(self, t: float) -> None:
+        """SACK recovery: resend every unsacked segment below the highest
+        SACKed byte, at most once per recovery episode."""
+        if not self._sacked:
+            if self.snd_una not in self._rtx_done:
+                self._rtx_done.add(self.snd_una)
+                self._emit(self.snd_una, min(self.mss, self.snd_nxt - self.snd_una),
+                           is_retransmit=True)
+            return
+        highest = max(e for _s, e in self._sacked)
+        start = self.snd_una
+        budget = 8  # pace hole retransmissions per ACK
+        while start < highest and budget > 0:
+            size = min(self.mss, self.snd_nxt - start)
+            if size <= 0:
+                break
+            if start not in self._rtx_done and not self._is_sacked(start, start + size):
+                self._rtx_done.add(start)
+                self._emit(start, size, is_retransmit=True)
+                budget -= 1
+            start += size
+
+    def _on_new_ack(self, ack_byte: int, t: float) -> None:
+        acked = ack_byte - self.snd_una
+        self.snd_una = ack_byte
+        self.dupacks = 0
+        self._sacked = [(s, e) for s, e in self._sacked if e > ack_byte]
+        self._rtx_done = {s for s in self._rtx_done if s >= ack_byte}
+        if self._rtt_sample is not None and ack_byte >= self._rtt_sample[0]:
+            self._update_rtt(t - self._rtt_sample[1])
+            self._rtt_sample = None
+        if self.in_recovery:
+            if ack_byte >= self.recover:
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                self._sacked.clear()
+                self._rtx_done.clear()
+            else:
+                # Partial ACK: fill the next holes, stay in recovery.
+                self._retransmit_holes(t)
+                self.cwnd = max(self.mss, self.cwnd - acked + self.mss)
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += acked  # slow start
+        else:
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
+        self.cwnd = min(self.cwnd, self.MAX_WINDOW_BYTES)
+        self._restart_timer()
+        if self.done:
+            self._cancel_timer()
+            if self.trace is not None:
+                self.trace.emit(t, "tcp_done", flow=self.flow_id, bytes=self.snd_una)
+
+    def _on_dupack(self, t: float) -> None:
+        self.dupacks += 1
+        if self.in_recovery:
+            self.cwnd += self.mss  # window inflation per extra dupack
+            self._retransmit_holes(t)
+        elif self.dupacks == 3:
+            self.ssthresh = max(self.flight_bytes // 2, 2 * self.mss)
+            self.in_recovery = True
+            self.recover = self.snd_nxt
+            self.cwnd = self.ssthresh + 3 * self.mss
+            self._rtx_done.clear()
+            self._retransmit_holes(t)
+            if self.trace is not None:
+                self.trace.emit(t, "tcp_fast_retransmit", flow=self.flow_id)
+
+    # ----------------------------------------------------------------- timer
+    def _update_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(
+            self.MAX_RTO_S,
+            max(self.MIN_RTO_S, self.srtt + 4.0 * self.rttvar),
+        )
+
+    def _ensure_timer(self) -> None:
+        if self._timer is None and self.flight_bytes > 0:
+            self._timer = self.sim.schedule(self.rto, self._on_timeout)
+
+    def _restart_timer(self) -> None:
+        self._cancel_timer()
+        self._ensure_timer()
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.flight_bytes == 0:
+            return
+        self.timeouts += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "tcp_timeout", flow=self.flow_id,
+                            rto=self.rto)
+        self.ssthresh = max(self.flight_bytes // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.snd_nxt = self.snd_una  # go-back-N
+        self.dupacks = 0
+        self.in_recovery = False
+        self._rtt_sample = None
+        self.rto = min(self.MAX_RTO_S, self.rto * 2.0)  # exponential backoff
+        if self.app_limit_bytes is not None:
+            remaining = self.app_limit_bytes - self.snd_una
+        else:
+            remaining = self.mss
+        size = max(1, min(self.mss, remaining))
+        self._emit(self.snd_una, size, is_retransmit=True)
+        self.snd_nxt = self.snd_una + size
+        self._ensure_timer()
+
+
+class TcpReceiver:
+    """TCP receiver: in-order reassembly and cumulative ACK generation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: SendFn,
+        src: int,
+        dst: int,
+        flow_id: int,
+        trace: Optional[TraceRecorder] = None,
+        on_bytes: Optional[Callable[[int, float], None]] = None,
+    ):
+        self.sim = sim
+        self.send_fn = send_fn
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.trace = trace
+        self.on_bytes = on_bytes  # called with (rcv_nxt, t) when data advances
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, int] = {}  # start -> end
+        self.segments_received = 0
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+        self._unacked_segments = 0
+        self._delack_timer = None
+        self.delayed_ack_segments = 2
+        self.delayed_ack_timeout_s = 0.040
+        #: (time, contiguous bytes) trace for throughput computation.
+        self.progress: list = []
+
+    def on_packet(self, packet: Packet, t: float) -> None:
+        if packet.flow_id != self.flow_id or packet.payload is None:
+            return
+        kind = packet.payload[0]
+        if kind != "seg":
+            return
+        _kind, start, end = packet.payload
+        self.segments_received += 1
+        advanced = False
+        if end <= self.rcv_nxt:
+            self.duplicate_segments += 1
+        elif start <= self.rcv_nxt:
+            self.rcv_nxt = end
+            advanced = True
+            # Merge any out-of-order runs now contiguous.
+            while True:
+                nxt = [s for s in self._ooo if s <= self.rcv_nxt]
+                if not nxt:
+                    break
+                for s in nxt:
+                    self.rcv_nxt = max(self.rcv_nxt, self._ooo.pop(s))
+        else:
+            prev_end = self._ooo.get(start)
+            if prev_end is None or prev_end < end:
+                self._ooo[start] = end
+        if advanced:
+            self.progress.append((t, self.rcv_nxt))
+            if self.trace is not None:
+                self.trace.emit(t, "app_rx", flow=self.flow_id, seq=start,
+                                bytes=end - start)
+            if self.on_bytes is not None:
+                self.on_bytes(self.rcv_nxt, t)
+        # Delayed ACKs: every second in-order segment, or immediately on
+        # out-of-order/duplicate data (dupacks must not be delayed).
+        self._unacked_segments += 1
+        if (
+            self._ooo
+            or not advanced
+            or self._unacked_segments >= self.delayed_ack_segments
+        ):
+            self._send_ack()
+        elif self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(
+                self.delayed_ack_timeout_s, self._send_ack
+            )
+
+    def _sack_blocks(self, max_blocks: int = 4) -> tuple:
+        """Merged out-of-order ranges, newest-style SACK blocks."""
+        if not self._ooo:
+            return ()
+        spans = sorted(self._ooo.items())
+        merged = [list(spans[0])]
+        for start, end in spans[1:]:
+            if start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return tuple(tuple(span) for span in merged[:max_blocks])
+
+    def _send_ack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+        self._unacked_segments = 0
+        ack = Packet(
+            size_bytes=ACK_BYTES,
+            src=self.src,
+            dst=self.dst,
+            protocol="tcp",
+            flow_id=self.flow_id,
+            seq=self.rcv_nxt,
+            created_at=self.sim.now,
+            payload=("ack", self.rcv_nxt, self._sack_blocks()),
+        )
+        self.acks_sent += 1
+        self.send_fn(ack)
+
+    def throughput_mbps(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            return 0.0
+        return self.rcv_nxt * 8 / duration_s / 1e6

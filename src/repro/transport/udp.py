@@ -1,0 +1,122 @@
+"""UDP constant-bit-rate flows (the iperf3 workload of the paper)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..net.packet import IP_HEADER_BYTES, UDP_HEADER_BYTES, Packet
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.trace import TraceRecorder
+
+__all__ = ["UdpSender", "UdpReceiver", "UDP_PAYLOAD_BYTES"]
+
+#: iperf3's default UDP payload leaves room for headers within a 1500 MTU.
+UDP_PAYLOAD_BYTES = 1448
+UDP_PACKET_BYTES = UDP_PAYLOAD_BYTES + UDP_HEADER_BYTES + IP_HEADER_BYTES
+
+SendFn = Callable[[Packet], None]
+
+
+class UdpSender:
+    """Sends fixed-size UDP datagrams at a constant bit rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: SendFn,
+        src: int,
+        dst: int,
+        flow_id: int,
+        rate_mbps: float,
+        payload_bytes: int = UDP_PAYLOAD_BYTES,
+    ):
+        if rate_mbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_mbps}")
+        self.sim = sim
+        self.send_fn = send_fn
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.rate_mbps = rate_mbps
+        self.payload_bytes = payload_bytes
+        self.packet_bytes = payload_bytes + UDP_HEADER_BYTES + IP_HEADER_BYTES
+        self.interval_s = (self.packet_bytes * 8) / (rate_mbps * 1e6)
+        self._next_seq = 0
+        self._task: Optional[PeriodicTask] = None
+        self.packets_sent = 0
+
+    def start(self, until: Optional[float] = None) -> None:
+        if self._task is not None:
+            raise RuntimeError("UdpSender already started")
+        self._emit()  # first packet now
+        self._task = self.sim.call_every(self.interval_s, self._emit, until=until)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _emit(self) -> None:
+        packet = Packet(
+            size_bytes=self.packet_bytes,
+            src=self.src,
+            dst=self.dst,
+            protocol="udp",
+            flow_id=self.flow_id,
+            seq=self._next_seq,
+            created_at=self.sim.now,
+        )
+        self._next_seq += 1
+        self.packets_sent += 1
+        self.send_fn(packet)
+
+
+class UdpReceiver:
+    """Counts and time-stamps received datagrams; tolerates duplicates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        trace: Optional[TraceRecorder] = None,
+        on_payload: Optional[Callable[[Packet, float], None]] = None,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.trace = trace
+        self.on_payload = on_payload
+        self.packets_received = 0
+        self.duplicates = 0
+        self.bytes_received = 0
+        self.max_seq_seen = -1
+        self._seen: set = set()
+        #: (time, seq) of every unique delivery, for throughput timeseries.
+        self.deliveries: List[Tuple[float, int]] = []
+
+    def on_packet(self, packet: Packet, t: float) -> None:
+        if packet.flow_id != self.flow_id:
+            return
+        if packet.seq in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(packet.seq)
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        self.max_seq_seen = max(self.max_seq_seen, packet.seq)
+        self.deliveries.append((t, packet.seq))
+        if self.trace is not None:
+            self.trace.emit(t, "app_rx", flow=self.flow_id, seq=packet.seq,
+                            bytes=packet.size_bytes)
+        if self.on_payload is not None:
+            self.on_payload(packet, t)
+
+    def loss_rate(self, packets_sent: int) -> float:
+        """Fraction of sent datagrams never delivered."""
+        if packets_sent <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.packets_received / packets_sent)
+
+    def throughput_mbps(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            return 0.0
+        return self.bytes_received * 8 / duration_s / 1e6

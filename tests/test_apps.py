@@ -1,0 +1,201 @@
+"""Unit tests for the application models (video, conferencing, web)."""
+
+import math
+
+import pytest
+
+from repro.apps.conferencing import (
+    HANGOUTS_PROFILE,
+    SKYPE_PROFILE,
+    ConferencingReceiver,
+    ConferencingSender,
+)
+from repro.apps.video import VideoParams, VideoStreamingSession
+from repro.apps.web import WebPageLoad, WebPageParams
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.tcp import MSS_BYTES, TcpReceiver, TcpSender
+
+
+class TestVideo:
+    def bytes_for(self, seconds, params):
+        return int(seconds * params.bitrate_mbps * 1e6 / 8)
+
+    def test_fast_delivery_never_rebuffers(self):
+        sim = Simulator()
+        params = VideoParams()
+        session = VideoStreamingSession(sim, params)
+        # Deliver 2x realtime.
+        for i in range(1, 41):
+            session.on_bytes(self.bytes_for(i * 0.5, params), i * 0.25)
+        session.finish(10.0)
+        assert session.rebuffer_ratio(10.0) == 0.0
+        assert session.stall_events == 0
+
+    def test_starved_stream_stalls(self):
+        sim = Simulator()
+        params = VideoParams(prebuffer_s=0.5)
+        session = VideoStreamingSession(sim, params)
+        session.on_bytes(self.bytes_for(1.0, params), 0.5)  # 1 s of media
+        # ... then nothing for 9.5 s of playback.
+        session.finish(10.0)
+        assert session.stalled_s > 5.0
+        assert session.rebuffer_ratio(10.0) > 0.5
+
+    def test_prebuffer_delays_playback(self):
+        sim = Simulator()
+        params = VideoParams(prebuffer_s=1.5)
+        session = VideoStreamingSession(sim, params)
+        session.on_bytes(self.bytes_for(0.5, params), 1.0)
+        assert session._state == "prebuffering"
+        session.on_bytes(self.bytes_for(2.0, params), 2.0)
+        assert session._state == "playing"
+
+    def test_stall_then_recover(self):
+        sim = Simulator()
+        params = VideoParams(prebuffer_s=0.2, rebuffer_restart_s=0.5)
+        session = VideoStreamingSession(sim, params)
+        session.on_bytes(self.bytes_for(0.5, params), 0.1)   # plays
+        session.on_bytes(self.bytes_for(0.5, params), 3.0)   # starved -> stall
+        assert session._state == "stalled"
+        session.on_bytes(self.bytes_for(6.0, params), 3.5)   # big refill
+        assert session._state == "playing"
+        session.finish(5.0)
+        assert session.stall_events == 1
+        assert 0.0 < session.stalled_s < 4.0
+
+    def test_rebuffer_ratio_bounds(self):
+        sim = Simulator()
+        session = VideoStreamingSession(sim, VideoParams())
+        session.finish(5.0)
+        assert 0.0 <= session.rebuffer_ratio(5.0) <= 1.0
+        assert session.rebuffer_ratio(0.0) == 0.0
+
+
+class TestConferencing:
+    def test_all_packets_delivered_counts_frames(self):
+        sim = Simulator()
+        rx = ConferencingReceiver(sim, flow_id=1)
+        tx = ConferencingSender(
+            sim, lambda p: rx.on_packet(p, sim.now), src=1, dst=2, flow_id=1
+        )
+        tx.start()
+        sim.run(until=2.0)
+        assert rx.frames_rendered == pytest.approx(tx.frames_sent, abs=2)
+
+    def test_lost_packet_loses_frame(self):
+        sim = Simulator()
+        rx = ConferencingReceiver(sim, flow_id=1)
+        dropped = {"n": 0}
+
+        def lossy(p):
+            if p.payload[1] == 3 and p.payload[2] == 0:  # frame 3, 1st packet
+                dropped["n"] += 1
+                return
+            rx.on_packet(p, sim.now)
+
+        tx = ConferencingSender(sim, lossy, src=1, dst=2, flow_id=1)
+        tx.start()
+        sim.run(until=1.0)
+        assert dropped["n"] == 1
+        assert rx.frames_rendered == tx.frames_sent - 1
+
+    def test_fps_log_per_second(self):
+        sim = Simulator()
+        rx = ConferencingReceiver(sim, flow_id=1, params=SKYPE_PROFILE)
+        tx = ConferencingSender(sim, lambda p: rx.on_packet(p, sim.now),
+                                src=1, dst=2, flow_id=1, params=SKYPE_PROFILE)
+        tx.start()
+        sim.run(until=3.0)
+        samples = rx.fps_samples(0, 3.0)
+        assert len(samples) == 3
+        assert all(25 <= s <= 31 for s in samples[1:])
+
+    def test_late_packets_expire_frame(self):
+        sim = Simulator()
+        rx = ConferencingReceiver(sim, flow_id=1)
+        p1 = Packet(size_bytes=1228, src=1, dst=2, flow_id=1, seq=0,
+                    payload=("frame", 0, 0, 2))
+        p2 = Packet(size_bytes=1228, src=1, dst=2, flow_id=1, seq=1,
+                    payload=("frame", 0, 1, 2))
+        rx.on_packet(p1, 0.0)
+        rx.on_packet(p2, 10.0)  # way past the deadline
+        assert rx.frames_rendered == 0
+        assert rx.frames_expired == 1
+
+    def test_hangouts_profile_higher_rate_smaller_frames(self):
+        assert HANGOUTS_PROFILE.frame_rate_fps > SKYPE_PROFILE.frame_rate_fps
+        assert HANGOUTS_PROFILE.frame_bytes < SKYPE_PROFILE.frame_bytes
+
+
+class TestWeb:
+    def _loaded_flow(self, pipe_delay=0.005):
+        sim = Simulator()
+        params = WebPageParams(page_bytes=50 * MSS_BYTES)
+        inbox = []
+        sender = TcpSender(sim, lambda p: sim.schedule(pipe_delay, receiver_on, p),
+                           src=1, dst=2, flow_id=1,
+                           app_limit_bytes=params.page_bytes)
+        receiver = TcpReceiver(sim, lambda p: sim.schedule(pipe_delay, sender.on_packet, p, sim.now),
+                               src=2, dst=1, flow_id=1)
+
+        def receiver_on(p):
+            receiver.on_packet(p, sim.now)
+
+        return sim, sender, receiver, params
+
+    def test_page_completes_and_reports_time(self):
+        sim, sender, receiver, params = self._loaded_flow()
+        load = WebPageLoad(sim, sender, receiver, params)
+        load.start()
+        sim.run(until=30.0)
+        assert load.complete
+        assert 0.1 < load.load_time_s < 10.0
+
+    def test_incomplete_page_reports_infinity(self):
+        sim = Simulator()
+        params = WebPageParams(page_bytes=10 * MSS_BYTES)
+        sender = TcpSender(sim, lambda p: None, src=1, dst=2, flow_id=1,
+                           app_limit_bytes=params.page_bytes)
+        receiver = TcpReceiver(sim, lambda p: None, src=2, dst=1, flow_id=1)
+        load = WebPageLoad(sim, sender, receiver, params)
+        load.start()
+        sim.run(until=5.0)
+        assert not load.complete
+        assert load.load_time_s == math.inf
+
+    def test_infinite_transfer_rejected(self):
+        sim = Simulator()
+        sender = TcpSender(sim, lambda p: None, 1, 2, 1, app_limit_bytes=None)
+        receiver = TcpReceiver(sim, lambda p: None, 2, 1, 1)
+        with pytest.raises(ValueError):
+            WebPageLoad(sim, sender, receiver)
+
+    def test_request_overhead_delays_start(self):
+        sim, sender, receiver, params = self._loaded_flow()
+        load = WebPageLoad(sim, sender, receiver, params)
+        load.start()
+        sim.run(until=30.0)
+        assert load.load_time_s > params.request_overhead_s
+
+
+class TestVideoNeverStarts:
+    def test_dead_connection_counts_as_stalled(self):
+        from repro.sim.engine import Simulator
+        from repro.apps.video import VideoParams, VideoStreamingSession
+
+        sim = Simulator()
+        session = VideoStreamingSession(sim, VideoParams(prebuffer_s=1.5))
+        # No bytes ever arrive; the player stares at the spinner.
+        session.finish(10.0)
+        assert session.stalled_s == pytest.approx(8.5)
+        assert session.rebuffer_ratio(10.0) > 0.8
+
+    def test_prebuffer_wait_alone_is_not_a_stall(self):
+        from repro.sim.engine import Simulator
+        from repro.apps.video import VideoParams, VideoStreamingSession
+
+        sim = Simulator()
+        session = VideoStreamingSession(sim, VideoParams(prebuffer_s=1.5))
+        session.finish(1.0)  # ended before the pre-buffer deadline
+        assert session.stalled_s == 0.0

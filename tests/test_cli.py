@@ -1,0 +1,36 @@
+"""Smoke tests for the CLI front end."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["drive"])
+    assert args.mode == "wgtt"
+    assert args.traffic == "tcp"
+
+
+def test_channel_command_runs(capsys):
+    assert main(["channel", "--speed", "25", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "best-AP changes" in out
+
+
+def test_drive_command_runs(capsys):
+    assert main(["drive", "--mode", "wgtt", "--speed", "0",
+                 "--traffic", "udp", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_sweep_command_runs(capsys):
+    assert main(["sweep", "--speeds", "15", "--traffic", "udp",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "wgtt" in out

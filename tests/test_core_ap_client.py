@@ -1,0 +1,191 @@
+"""Unit/integration tests for AP node internals and the mobile client."""
+
+import numpy as np
+import pytest
+
+from repro.core.ap import ApParams
+from repro.core.association import AssociationRecord, AssociationTable, pre_associate
+from repro.core.messages import BaForward, ServingUpdate, StartMsg, StopMsg
+from repro.experiments import ExperimentConfig, build_network
+from repro.mobility import RoadLayout, StationaryTrajectory
+from repro.net.packet import Packet
+
+
+def wgtt_net(seed=0, n_aps=3, **cfg):
+    config = ExperimentConfig(mode="wgtt", road=RoadLayout.uniform(n_aps), seed=seed, **cfg)
+    net = build_network(config)
+    client = net.add_client(StationaryTrajectory(net.road.ap_aim_point(0)))
+    return net, client
+
+
+def indexed(seq, size=1476):
+    p = Packet(size_bytes=size, src=1, dst=200, flow_id=1, seq=seq)
+    p.wgtt_index = seq
+    return p
+
+
+class TestApPipelines:
+    def test_refill_moves_packets_down_the_stack(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        pipe = ap.add_client(client.node_id)
+        pipe.serving = True
+        for i in range(300):
+            pipe.cyclic.insert(indexed(i))
+        ap._refill(client.node_id)
+        assert len(pipe.hw) == ap.params.hw_queue_capacity
+        # The NIC pull leaves headroom in the driver; a second refill
+        # (triggered by the next arrival/pull in practice) tops it up.
+        ap._refill(client.node_id)
+        assert len(pipe.driver) == ap.params.driver_queue_capacity
+
+    def test_not_serving_means_no_driver_refill(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        pipe = ap.add_client(client.node_id)
+        for i in range(10):
+            pipe.cyclic.insert(indexed(i))
+        ap._refill(client.node_id)
+        assert len(pipe.driver) == 0
+        assert len(pipe.hw) == 0
+
+    def test_stop_reports_driver_head_index(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        pipe = ap.add_client(client.node_id)
+        pipe.serving = True
+        for i in range(100):
+            pipe.cyclic.insert(indexed(i))
+        ap._refill(client.node_id)
+        hw_depth = len(pipe.hw)
+        ap._handle_stop(StopMsg(client=client.node_id, new_ap=net.aps[1].node_id))
+        records = net.trace.records("stop_processed")
+        assert records[-1]["k"] == hw_depth  # first packet not yet in the NIC
+        assert not pipe.serving
+        assert len(pipe.driver) == 0  # filtered out
+        assert len(pipe.hw) == hw_depth  # NIC backlog still drains
+
+    def test_start_jumps_ring_and_acks(self):
+        net, client = wgtt_net()
+        ap = net.aps[1]
+        pipe = ap.add_client(client.node_id)
+        for i in range(100):
+            pipe.cyclic.insert(indexed(i))
+        ap._handle_start(StartMsg(client=client.node_id, index=40))
+        assert pipe.serving
+        net.run(until=0.05)
+        acks = [r for r in net.trace.records("ap_switch")]
+        # Controller processed the SwitchAck only if it initiated a switch;
+        # here we injected start directly, so check the pipeline instead.
+        assert pipe.cyclic.consumed > 0 or len(pipe.hw) > 0
+        assert pipe.hw.peek().wgtt_index >= 40
+
+    def test_post_stop_flush_clears_hw(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        pipe = ap.add_client(client.node_id)
+        pipe.serving = True
+        for i in range(100):
+            pipe.cyclic.insert(indexed(i))
+        ap._refill(client.node_id)
+        ap._handle_stop(StopMsg(client=client.node_id, new_ap=net.aps[1].node_id))
+        net.run(until=ap.params.stop_drain_window_s + 0.05)
+        assert len(pipe.hw) == 0
+
+    def test_serving_update_tracked(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        ap.handle_ctrl(ServingUpdate(client=client.node_id, ap=net.aps[2].node_id), src=1)
+        assert ap.serving_map[client.node_id] == net.aps[2].node_id
+
+    def test_ba_forward_applied_to_radio(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        state = ap.radio.peer(client.node_id)
+        state.scoreboard.record_sent([0, 1, 2])
+        from repro.mac.frames import BlockAck
+
+        ba = BlockAck.for_seqs(src=client.node_id, dst=ap.node_id,
+                               seqs=[0, 1], start_seq=0)
+        ap.handle_ctrl(
+            BaForward(client=client.node_id, start_seq=ba.start_seq,
+                      bitmap=ba.bitmap),
+            src=net.aps[1].node_id,
+        )
+        assert state.scoreboard.in_flight == {2}
+
+    def test_csi_report_rate_limited(self):
+        net, client = wgtt_net()
+        ap = net.aps[0]
+        before = net.backhaul.packets_sent
+        for _ in range(10):
+            ap.on_client_frame_decoded(client.node_id, net.sim.now)
+        sent = net.backhaul.packets_sent - before
+        assert sent == 1  # all within the min interval
+
+
+class TestClient:
+    def test_uplink_queue_drops_when_full(self):
+        net, client = wgtt_net()
+        cap = client.params.uplink_queue_capacity
+        for seq in range(cap + 10):
+            client.uplink_send(Packet(size_bytes=500, src=client.node_id,
+                                      dst=1, flow_id=1, seq=seq))
+        assert client.uplink_dropped == 10
+
+    def test_flow_handler_dispatch(self):
+        net, client = wgtt_net()
+        got = []
+        client.register_flow(9, lambda p, t: got.append(p.seq))
+        p = Packet(size_bytes=100, src=1, dst=client.node_id, flow_id=9, seq=4)
+        client.on_downlink(p, src_ap=net.aps[0].node_id, t=0.0)
+        assert got == [4]
+
+    def test_set_association_resets_radio_peer(self):
+        net, client = wgtt_net()
+        client.radio.peer(12345)
+        client.current_bssid = 12345
+        client.set_association(None)
+        assert 12345 not in client.radio.peers
+
+    def test_association_changes_logged(self):
+        net, client = wgtt_net()
+        # pre_associate in the builder logged the initial association.
+        assert client.association_changes[0][1] == net.bssid
+
+
+class TestAssociation:
+    def test_table_round_trip(self):
+        table = AssociationTable()
+        rec = AssociationRecord(client=200, aid=1)
+        table.add(rec)
+        assert table.is_associated(200)
+        assert table.get(200) is rec
+        assert table.clients() == [200]
+        assert table.remove(200) is rec
+        assert not table.is_associated(200)
+
+    def test_pre_associate_installs_everywhere(self):
+        net, client = wgtt_net()
+        # builder already pre-associated; verify the state.
+        assert client.current_bssid == net.bssid
+        for ap in net.aps:
+            assert client.node_id in ap.pipelines
+
+    def test_over_the_air_association_handshake(self):
+        """A fresh WGTT client can associate via assoc_req/resp and the
+        state replicates to the other APs via AssocSync."""
+        config = ExperimentConfig(mode="wgtt", road=RoadLayout.uniform(3), seed=1)
+        net = build_network(config)
+        client = net.add_client(
+            StationaryTrajectory(net.road.ap_aim_point(0)),
+            pre_associated=False,
+        )
+        from repro.mac.frames import MgmtFrame
+
+        client.radio.send_mgmt(
+            MgmtFrame(src=client.node_id, dst=net.aps[0].node_id, kind="assoc_req")
+        )
+        net.run(until=0.3)
+        for ap in net.aps:
+            assert client.node_id in ap.pipelines

@@ -1,0 +1,133 @@
+"""Unit and property tests for the max-median ESNR AP selector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ap_selection import ApSelector, EsnrWindow, median
+
+
+def test_median_definition_matches_paper():
+    # The paper uses element floor(L/2) of the sorted list.
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 3.0  # floor(4/2) = element 2
+    assert median([5.0]) == 5.0
+
+
+def test_median_empty_rejected():
+    with pytest.raises(ValueError):
+        median([])
+
+
+class TestEsnrWindow:
+    def test_values_within_window(self):
+        w = EsnrWindow(0.010, min_keep=0)
+        w.add(0.000, 10.0)
+        w.add(0.005, 12.0)
+        assert w.values(0.008) == [10.0, 12.0]
+
+    def test_old_values_purged(self):
+        w = EsnrWindow(0.010, min_keep=0)
+        w.add(0.000, 10.0)
+        w.add(0.020, 12.0)
+        assert w.values(0.020) == [12.0]
+
+    def test_min_keep_retains_sparse_readings(self):
+        """With sparse traffic the last few readings survive past W."""
+        w = EsnrWindow(0.010, min_keep=2)
+        w.add(0.000, 10.0)
+        w.add(0.030, 12.0)
+        assert w.values(0.050) == [10.0, 12.0]
+
+    def test_hard_staleness_cap(self):
+        w = EsnrWindow(0.010, min_keep=3, max_age_s=0.1)
+        w.add(0.0, 10.0)
+        assert w.values(0.2) == []
+
+    def test_median_of_window(self):
+        w = EsnrWindow(1.0)
+        for t, e in [(0.1, 5.0), (0.2, 15.0), (0.3, 10.0)]:
+            w.add(t, e)
+        assert w.median(0.35) == 10.0
+
+    def test_median_none_when_empty(self):
+        assert EsnrWindow(0.01, min_keep=0, max_age_s=0.01).median(10.0) is None
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            EsnrWindow(0.0)
+
+
+class TestApSelector:
+    def test_best_ap_by_median(self):
+        sel = ApSelector(window_s=1.0, min_readings=2)
+        for t in (0.1, 0.2, 0.3):
+            sel.update(1, t, 10.0)
+            sel.update(2, t, 20.0)
+        assert sel.best_ap(0.35) == 2
+
+    def test_median_resists_single_spike(self):
+        sel = ApSelector(window_s=1.0, min_readings=3)
+        for t in (0.1, 0.2, 0.3):
+            sel.update(1, t, 15.0)
+        sel.update(2, 0.1, 40.0)  # one lucky fade peak
+        sel.update(2, 0.2, 5.0)
+        sel.update(2, 0.3, 5.0)
+        assert sel.best_ap(0.35) == 1
+
+    def test_min_readings_gates_candidates(self):
+        sel = ApSelector(window_s=1.0, min_readings=2)
+        sel.update(1, 0.1, 30.0)
+        assert sel.best_ap(0.2) is None
+        sel.update(1, 0.15, 30.0)
+        assert sel.best_ap(0.2) == 1
+
+    def test_in_range_aps_single_reading(self):
+        sel = ApSelector(window_s=1.0, min_readings=2)
+        sel.update(7, 0.1, 3.0)
+        assert sel.in_range_aps(0.2) == [7]
+
+    def test_stale_ap_leaves_range(self):
+        sel = ApSelector(window_s=0.01)
+        sel.update(7, 0.1, 3.0)
+        assert sel.in_range_aps(10.0) == []
+
+    def test_mean_metric(self):
+        sel = ApSelector(window_s=1.0, min_readings=1, metric="mean")
+        sel.update(1, 0.1, 0.0)
+        sel.update(1, 0.2, 30.0)
+        sel.update(2, 0.1, 14.0)
+        sel.update(2, 0.2, 14.0)
+        assert sel.best_ap(0.3) == 1  # mean 15 vs 14 (median would say 2)
+
+    def test_max_metric(self):
+        sel = ApSelector(window_s=1.0, min_readings=1, metric="max")
+        sel.update(1, 0.1, 25.0)
+        sel.update(1, 0.2, 0.0)
+        sel.update(2, 0.1, 20.0)
+        sel.update(2, 0.2, 20.0)
+        assert sel.best_ap(0.3) == 1
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            ApSelector(metric="geometric")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        readings=st.dictionaries(
+            st.integers(100, 104),
+            st.lists(st.floats(-10, 40), min_size=1, max_size=9),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_best_ap_has_max_median(self, readings):
+        """Property: the selected AP's median is >= every candidate's."""
+        sel = ApSelector(window_s=10.0, min_readings=1)
+        for ap, values in readings.items():
+            for i, v in enumerate(values):
+                sel.update(ap, 0.1 * (i + 1), v)
+        best = sel.best_ap(1.0)
+        scores = sel.candidates(1.0)
+        assert best in scores
+        assert scores[best] == max(scores.values())

@@ -1,0 +1,71 @@
+"""Extra selector coverage: footnote-1 semantics and ESNR-vs-RSSI value.
+
+These tests pin down the *reason* ESNR-based selection beats RSSI: a
+frequency-selective fade tanks delivery but barely moves wideband RSSI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ap_selection import ApSelector
+from repro.phy.csi import CSIReading
+from repro.phy.esnr import effective_snr_db
+
+
+def reading(csi, mean_snr_db, t=0.0):
+    return CSIReading(time=t, ap_id=1, client_id=200,
+                      csi=np.asarray(csi, dtype=complex),
+                      mean_snr_db=mean_snr_db)
+
+
+def test_esnr_and_rssi_agree_on_flat_channel():
+    r = reading(np.ones(56), 20.0)
+    assert r.esnr_db() == pytest.approx(r.rssi_db(), abs=1.0)
+
+
+def test_selective_fade_separates_esnr_from_rssi():
+    """A deep notch across a third of the band: RSSI barely moves, ESNR
+    collapses -- the exact case where RSSI-based handover picks wrong."""
+    csi = np.ones(56, dtype=complex)
+    csi[:18] = 0.05
+    r = reading(csi, 20.0)
+    assert r.rssi_db() > r.esnr_db() + 3.0
+
+
+def test_esnr_cached_per_reading():
+    r = reading(np.ones(56), 20.0)
+    first = r.esnr_db()
+    r.csi = np.zeros(56)  # mutate after caching: cached value returned
+    assert r.esnr_db() == first
+
+
+def test_selector_prefers_flat_link_over_equal_rssi_notched_link():
+    """Two links with identical wideband power; the notched one must lose
+    under ESNR selection."""
+    sel = ApSelector(window_s=1.0, min_readings=1)
+    flat = reading(np.ones(56), 20.0)
+    notched_csi = np.ones(56, dtype=complex)
+    notched_csi[:18] = 0.05
+    notched = reading(notched_csi, 20.0)
+    for t in (0.1, 0.2, 0.3):
+        sel.update(1, t, flat.esnr_db())
+        sel.update(2, t, notched.esnr_db())
+    assert sel.best_ap(0.35) == 1
+
+
+def test_in_range_definition_matches_footnote_1():
+    """'Within communication range' = heard from within the window W."""
+    sel = ApSelector(window_s=0.010, min_readings=1)
+    sel.update(1, t=1.000, esnr_db=10.0)
+    sel.update(2, t=1.009, esnr_db=10.0)
+    in_range = sel.in_range_aps(1.010)
+    assert set(in_range) == {1, 2}
+    # After W (plus the sparse-traffic retention cap), AP 1 ages out.
+    assert sel.in_range_aps(2.0) == []
+
+
+def test_candidates_scores_are_window_medians():
+    sel = ApSelector(window_s=10.0, min_readings=1)
+    for v in (5.0, 9.0, 30.0):
+        sel.update(3, 0.1, v)
+    assert sel.candidates(0.2)[3] == 9.0

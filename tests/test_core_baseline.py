@@ -1,0 +1,111 @@
+"""Integration tests for the Enhanced 802.11r baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import BaselinePolicyParams
+from repro.experiments import ExperimentConfig, build_network
+from repro.mobility import LinearTrajectory, RoadLayout, StationaryTrajectory
+from repro.net.packet import Packet
+
+
+def baseline_net(seed=0, speed_mph=15.0, **cfg):
+    config = ExperimentConfig(mode="baseline", road=RoadLayout(), seed=seed, **cfg)
+    net = build_network(config)
+    if speed_mph > 0:
+        traj = LinearTrajectory.drive_through(net.road, speed_mph)
+    else:
+        traj = StationaryTrajectory(net.road.ap_aim_point(0))
+    client = net.add_client(traj)
+    return net, client
+
+
+def test_client_associates_from_beacons():
+    net, client = baseline_net(speed_mph=0)
+    net.run(until=2.0)
+    assert client.associated
+    assert client.current_bssid == net.aps[0].node_id
+
+
+def test_association_known_at_controller():
+    net, client = baseline_net(speed_mph=0)
+    net.run(until=2.0)
+    assert net.controller.serving_ap(client.node_id) == client.current_bssid
+
+
+def test_client_roams_across_aps_during_drive():
+    net, client = baseline_net(speed_mph=15.0)
+    net.run(until=10.0)
+    visited = {b for _t, b in client.association_changes if b is not None}
+    assert len(visited) >= 3
+
+
+def test_roaming_respects_one_second_hysteresis():
+    net, client = baseline_net(speed_mph=15.0)
+    net.run(until=10.0)
+    times = [t for t, b in client.association_changes if b is not None]
+    gaps = np.diff(times)
+    # Successful consecutive handovers are at least ~1 s apart (re-scans
+    # after failures may associate sooner).
+    assert np.median(gaps) >= 0.9
+
+
+def test_downlink_flows_only_through_associated_ap():
+    net, client = baseline_net(speed_mph=0)
+    got = []
+    client.register_flow(1, lambda p, t: got.append(p))
+    net.run(until=2.0)
+    for seq in range(20):
+        net.controller.send_downlink(
+            Packet(size_bytes=1476, src=net.server_id, dst=client.node_id,
+                   protocol="udp", flow_id=1, seq=seq)
+        )
+    net.run(until=3.0)
+    assert len(got) == 20
+    aps = {r["ap"] for r in net.trace.iter_records("dl_delivered")}
+    assert aps == {client.current_bssid}
+
+
+def test_no_route_drops_before_association():
+    net, client = baseline_net(speed_mph=0)
+    net.controller.send_downlink(
+        Packet(size_bytes=1476, src=net.server_id, dst=client.node_id,
+               protocol="udp", flow_id=1, seq=0)
+    )
+    assert net.controller.no_route_drops == 1
+
+
+def test_old_ap_flushed_after_handover():
+    net, client = baseline_net(speed_mph=15.0)
+    net.run(until=10.0)
+    changes = [b for _t, b in client.association_changes if b is not None]
+    assert len(changes) >= 2
+    old_ap = next(ap for ap in net.aps if ap.node_id == changes[0])
+    assert client.node_id not in old_ap.associated
+
+
+def test_handover_failure_at_high_speed():
+    """At 35 mph the over-the-DS FT request dies with the old link
+    (the Fig. 4(a) pathology)."""
+    failures = 0
+    for seed in range(4):
+        net, client = baseline_net(seed=seed, speed_mph=35.0)
+        net.run(until=4.5)
+        failures += client.policy.handover_failures
+    assert failures >= 1
+
+
+def test_policy_threshold_configurable():
+    eager = BaselinePolicyParams(rssi_threshold_db=30.0, hysteresis_s=0.1)
+    net, client = baseline_net(speed_mph=15.0, policy_params=eager)
+    net.run(until=8.0)
+    eager_switches = len(client.association_changes)
+    net2, client2 = baseline_net(speed_mph=15.0)
+    net2.run(until=8.0)
+    assert eager_switches >= len(client2.association_changes)
+
+
+def test_beacons_present_in_baseline():
+    net, _client = baseline_net(speed_mph=0)
+    net.run(until=1.0)
+    assert net.trace.count("beacon_rx") > 10

@@ -1,0 +1,176 @@
+"""Unit tests for the WGTT controller driven by injected CSI reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import ControllerParams, WgttController
+from repro.core.messages import CsiReport, StartMsg, StopMsg, SwitchAck, ctrl_packet
+from repro.net.ethernet import Backhaul, BackhaulParams
+from repro.net.packet import Packet
+from repro.phy.csi import CSIReading
+from repro.sim.engine import Simulator
+
+
+class ApStub:
+    """Records the control messages a real AP would receive."""
+
+    def __init__(self, node_id, backhaul):
+        self.node_id = node_id
+        self.inbox = []
+        backhaul.register(node_id, self.on_backhaul)
+
+    def on_backhaul(self, packet, src):
+        self.inbox.append(packet.payload if packet.protocol == "ctrl" else packet)
+
+    def messages(self, kind):
+        return [m for m in self.inbox if isinstance(m, kind)]
+
+
+def make_controller(**params):
+    sim = Simulator()
+    backhaul = Backhaul(sim, np.random.default_rng(0),
+                        params=BackhaulParams(jitter_s=0.0))
+    controller = WgttController(
+        sim, backhaul, node_id=1, rng=np.random.default_rng(1),
+        params=ControllerParams(**params),
+    )
+    aps = [ApStub(100 + i, backhaul) for i in range(3)]
+    for ap in aps:
+        controller.add_ap(ap.node_id)
+    return sim, backhaul, controller, aps
+
+
+def csi(ap_id, client_id, esnr_target_db, t):
+    """A CSI reading whose ESNR is ~esnr_target_db (flat channel)."""
+    return CsiReport(reading=CSIReading(
+        time=t, ap_id=ap_id, client_id=client_id,
+        csi=np.ones(56, dtype=complex), mean_snr_db=esnr_target_db,
+    ))
+
+
+def send_csi(sim, backhaul, controller, ap_id, client, esnr, at):
+    sim.schedule_at(at, backhaul.send, ap_id, controller.node_id,
+                    ctrl_packet(ap_id, controller.node_id,
+                                csi(ap_id, client, esnr, at), at))
+
+
+def test_first_csi_elects_serving_ap():
+    sim, bh, ctl, aps = make_controller()
+    send_csi(sim, bh, ctl, 100, 200, 25.0, 0.01)
+    sim.run(until=0.05)
+    starts = aps[0].messages(StartMsg)
+    # At least one start (the 30 ms ack timeout may retransmit it).
+    assert starts and all(s.client == 200 for s in starts)
+    # AP acks; controller records the serving AP.
+    bh.send(100, ctl.node_id,
+            ctrl_packet(100, ctl.node_id, SwitchAck(client=200, ap=100), sim.now))
+    sim.run(until=0.1)
+    assert ctl.serving_ap(200) == 100
+
+
+def _establish(sim, bh, ctl, aps, ap_idx=0, client=200):
+    send_csi(sim, bh, ctl, aps[ap_idx].node_id, client, 25.0, sim.now + 0.001)
+    sim.run(until=sim.now + 0.01)
+    bh.send(aps[ap_idx].node_id, ctl.node_id,
+            ctrl_packet(aps[ap_idx].node_id, ctl.node_id,
+                        SwitchAck(client=client, ap=aps[ap_idx].node_id), sim.now))
+    sim.run(until=sim.now + 0.01)
+
+
+def test_switch_to_stronger_ap_sends_stop_to_old():
+    sim, bh, ctl, aps = make_controller(hysteresis_s=0.0)
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    for i in range(3):
+        send_csi(sim, bh, ctl, 101, 200, 35.0, sim.now + 0.001 * (i + 1))
+        send_csi(sim, bh, ctl, 100, 200, 15.0, sim.now + 0.001 * (i + 1))
+    sim.run(until=sim.now + 0.02)
+    stops = aps[0].messages(StopMsg)
+    assert stops and stops[-1].new_ap == 101
+
+
+def test_hysteresis_blocks_rapid_switches():
+    sim, bh, ctl, aps = make_controller(hysteresis_s=10.0)
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    for i in range(5):
+        send_csi(sim, bh, ctl, 101, 200, 35.0, sim.now + 0.001 * (i + 1))
+    sim.run(until=sim.now + 0.05)
+    assert aps[0].messages(StopMsg) == []
+
+
+def test_stop_retransmitted_without_ack():
+    sim, bh, ctl, aps = make_controller(hysteresis_s=0.0, ack_timeout_s=0.02)
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    send_csi(sim, bh, ctl, 101, 200, 35.0, sim.now + 0.001)
+    send_csi(sim, bh, ctl, 100, 200, 10.0, sim.now + 0.001)
+    sim.run(until=sim.now + 0.1)  # nobody acks
+    assert len(aps[0].messages(StopMsg)) >= 3
+
+
+def test_switch_gives_up_after_max_attempts():
+    sim, bh, ctl, aps = make_controller(
+        hysteresis_s=0.0, ack_timeout_s=0.01, max_switch_attempts=3
+    )
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    send_csi(sim, bh, ctl, 101, 200, 35.0, sim.now + 0.001)
+    send_csi(sim, bh, ctl, 100, 200, 10.0, sim.now + 0.001)
+    sim.run(until=sim.now + 0.5)
+    assert ctl.trace.count("switch_failed") == 1
+    assert ctl.serving_ap(200) is None
+
+
+def test_downlink_multicast_to_in_range_aps():
+    sim, bh, ctl, aps = make_controller()
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    send_csi(sim, bh, ctl, 101, 200, 20.0, sim.now + 0.001)
+    sim.run(until=sim.now + 0.01)
+    packet = Packet(size_bytes=1476, src=9, dst=200, flow_id=1, seq=0)
+    ctl.send_downlink(packet)
+    sim.run(until=sim.now + 0.01)
+    got_0 = [p for p in aps[0].inbox if isinstance(p, Packet)]
+    got_1 = [p for p in aps[1].inbox if isinstance(p, Packet)]
+    got_2 = [p for p in aps[2].inbox if isinstance(p, Packet)]
+    assert got_0 and got_1
+    assert not got_2  # never reported CSI -> out of range
+
+
+def test_downlink_indices_increment():
+    sim, bh, ctl, aps = make_controller()
+    _establish(sim, bh, ctl, aps, ap_idx=0)
+    for seq in range(5):
+        ctl.send_downlink(Packet(size_bytes=100, src=9, dst=200, flow_id=1, seq=seq))
+    sim.run(until=sim.now + 0.01)
+    indices = [p.wgtt_index for p in aps[0].inbox if isinstance(p, Packet)]
+    assert indices == list(range(5))
+
+
+def test_no_coverage_drop_counted():
+    sim, bh, ctl, aps = make_controller()
+    ctl.send_downlink(Packet(size_bytes=100, src=9, dst=222, flow_id=1, seq=0))
+    assert ctl.clients[222].no_coverage_drops == 1
+
+
+def test_uplink_dedup_and_handler_dispatch():
+    sim, bh, ctl, aps = make_controller()
+    got = []
+    ctl.register_uplink_handler(4, lambda p, t: got.append(p.seq))
+    packet = Packet(size_bytes=500, src=200, dst=9, flow_id=4, seq=7)
+    import copy
+
+    for ap in aps[:2]:
+        clone = copy.copy(packet)
+        clone.tunnel = []
+        clone.encapsulate(ap.node_id, ctl.node_id)
+        bh.send(ap.node_id, ctl.node_id, clone)
+    sim.run(until=0.1)
+    assert got == [7]
+
+
+def test_default_uplink_handler():
+    sim, bh, ctl, aps = make_controller()
+    got = []
+    ctl.set_default_uplink_handler(lambda p, t: got.append(p.flow_id))
+    packet = Packet(size_bytes=500, src=200, dst=9, flow_id=77, seq=0)
+    packet.encapsulate(100, ctl.node_id)
+    bh.send(100, ctl.node_id, packet)
+    sim.run(until=0.1)
+    assert got == [77]

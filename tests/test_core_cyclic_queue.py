@@ -1,0 +1,179 @@
+"""Unit and property tests for the WGTT cyclic queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cyclic_queue import INDEX_MODULO, CyclicQueue, ring_distance
+from repro.net.packet import Packet
+
+
+def pkt(index, size=1500):
+    p = Packet(size_bytes=size, src=1, dst=200)
+    p.wgtt_index = index % INDEX_MODULO
+    return p
+
+
+def test_ring_distance():
+    assert ring_distance(0, 5) == 5
+    assert ring_distance(4090, 3) == 9
+    assert ring_distance(3, 3) == 0
+
+
+def test_insert_requires_index():
+    q = CyclicQueue()
+    with pytest.raises(ValueError):
+        q.insert(Packet(size_bytes=100, src=1, dst=2))
+
+
+def test_pop_in_insertion_order():
+    q = CyclicQueue()
+    for i in range(5):
+        q.insert(pkt(i))
+    assert [q.pop_next().wgtt_index for _ in range(5)] == list(range(5))
+    assert q.pop_next() is None
+
+
+def test_pop_skips_missing_indices():
+    """An AP that missed some indices must not starve (regression)."""
+    q = CyclicQueue()
+    q.insert(pkt(0))
+    q.insert(pkt(3))  # 1 and 2 never arrived at this AP
+    assert q.pop_next().wgtt_index == 0
+    assert q.pop_next().wgtt_index == 3
+
+
+def test_set_read_index_discards_older_entries():
+    q = CyclicQueue()
+    for i in range(10):
+        q.insert(pkt(i))
+    q.set_read_index(6)
+    assert q.pop_next().wgtt_index == 6
+
+
+def test_set_read_index_to_missing_index_keeps_later():
+    q = CyclicQueue()
+    q.insert(pkt(2))
+    q.insert(pkt(8))
+    q.set_read_index(5)
+    assert q.pop_next().wgtt_index == 8
+
+
+def test_read_index_reflects_next_pending():
+    q = CyclicQueue()
+    q.insert(pkt(4))
+    assert q.read_index == 4
+    q.pop_next()
+    assert q.read_index == 5  # one past the newest insert
+
+
+def test_overwrite_after_full_lap():
+    q = CyclicQueue(size=8)
+    for i in range(8):
+        q.insert(pkt(i))
+    q.insert(pkt(8))  # lands on slot 0, overwriting index 0
+    assert q.overwritten == 1
+    popped = [q.pop_next().wgtt_index for _ in range(8)]
+    assert popped == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_wraparound_indices_pop_in_order():
+    q = CyclicQueue()
+    for i in (4094, 4095, 0, 1):
+        q.insert(pkt(i))
+    assert [q.pop_next().wgtt_index for _ in range(4)] == [4094, 4095, 0, 1]
+
+
+def test_writer_laps_reader_no_deadlock():
+    """Regression: >2048 indices of backlog must not wedge the reader."""
+    q = CyclicQueue()
+    for i in range(3000):
+        q.insert(pkt(i))
+    out = []
+    while True:
+        p = q.pop_next()
+        if p is None:
+            break
+        out.append(p.wgtt_index)
+    assert len(out) == 3000
+    assert out == sorted(out)
+
+
+def test_peek_does_not_consume():
+    q = CyclicQueue()
+    q.insert(pkt(0))
+    assert q.peek().wgtt_index == 0
+    assert q.peek().wgtt_index == 0
+    assert q.pop_next() is not None
+
+
+def test_backlog_from():
+    q = CyclicQueue()
+    for i in range(5):
+        q.insert(pkt(i))
+    assert q.backlog_from(0) == 5
+    assert q.backlog_from(3) == 2
+
+
+def test_len_counts_pending():
+    q = CyclicQueue()
+    q.insert(pkt(0))
+    q.insert(pkt(1))
+    q.pop_next()
+    assert len(q) == 1
+
+
+def test_clear():
+    q = CyclicQueue()
+    q.insert(pkt(0))
+    q.clear()
+    assert q.pop_next() is None
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        CyclicQueue(size=0)
+    with pytest.raises(ValueError):
+        CyclicQueue(size=INDEX_MODULO + 1)
+
+
+def test_duplicate_insert_same_index_latest_wins():
+    q = CyclicQueue()
+    first, second = pkt(0), pkt(0)
+    q.insert(first)
+    q.insert(second)
+    popped = q.pop_next()
+    assert popped is second
+    # The stale pending entry must not resurface.
+    assert q.pop_next() is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start=st.integers(0, INDEX_MODULO - 1),
+    n=st.integers(1, 300),
+    holes=st.sets(st.integers(0, 299), max_size=50),
+    jump=st.integers(0, 299),
+)
+def test_property_insertion_order_consumption(start, n, holes, jump):
+    """Property: pops return exactly the inserted (non-hole) indices at or
+    after the start(c, k) jump point, in insertion order -- across any
+    wraparound."""
+    q = CyclicQueue()
+    inserted = []
+    for offset in range(n):
+        if offset in holes:
+            continue
+        idx = (start + offset) % INDEX_MODULO
+        q.insert(pkt(idx))
+        inserted.append((offset, idx))
+    k = (start + jump) % INDEX_MODULO
+    q.set_read_index(k)
+    expected = [idx for offset, idx in inserted if offset >= jump]
+    out = []
+    while True:
+        p = q.pop_next()
+        if p is None:
+            break
+        out.append(p.wgtt_index)
+    assert out == expected

@@ -1,0 +1,78 @@
+"""Unit and property tests for uplink de-duplication."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dedup import Deduplicator
+from repro.net.packet import Packet
+
+
+def pkt(src=200, ip_id=1):
+    return Packet(size_bytes=100, src=src, dst=1, ip_id=ip_id)
+
+
+def test_first_copy_accepted_second_rejected():
+    d = Deduplicator()
+    p = pkt()
+    assert d.accept(p)
+    assert not d.accept(p)
+    assert d.accepted == 1
+    assert d.duplicates == 1
+
+
+def test_different_ip_ids_both_accepted():
+    d = Deduplicator()
+    assert d.accept(pkt(ip_id=1))
+    assert d.accept(pkt(ip_id=2))
+
+
+def test_different_sources_same_ip_id_both_accepted():
+    d = Deduplicator()
+    assert d.accept(pkt(src=200, ip_id=9))
+    assert d.accept(pkt(src=201, ip_id=9))
+
+
+def test_eviction_bounds_memory():
+    d = Deduplicator(capacity=10)
+    for i in range(25):
+        d.accept(pkt(ip_id=i))
+    assert len(d) <= 10
+    # The oldest key has been evicted: a re-send is (wrongly but boundedly)
+    # accepted again, which is the documented trade-off.
+    assert d.accept(pkt(ip_id=0))
+
+
+def test_duplicate_fraction():
+    d = Deduplicator()
+    p = pkt()
+    d.accept(p)
+    d.accept(p)
+    d.accept(p)
+    assert d.duplicate_fraction == pytest.approx(2 / 3)
+
+
+def test_duplicate_fraction_empty():
+    assert Deduplicator().duplicate_fraction == 0.0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Deduplicator(capacity=0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(200, 203), st.integers(0, 50)),
+        max_size=200,
+    )
+)
+def test_property_exactly_one_copy_survives(sends):
+    """Property: per (src, ip_id) pair, exactly the first copy passes."""
+    d = Deduplicator(capacity=10_000)
+    passed = []
+    for src, ip_id in sends:
+        if d.accept(pkt(src=src, ip_id=ip_id)):
+            passed.append((src, ip_id))
+    assert len(passed) == len(set(passed))
+    assert set(passed) == set(sends)

@@ -1,0 +1,65 @@
+"""Unit tests for control-plane message wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import (
+    CSI_PACKET_BYTES,
+    CTRL_PACKET_BYTES,
+    AssocNotify,
+    AssocSync,
+    BaForward,
+    CsiReport,
+    FtRequest,
+    ServingUpdate,
+    StartMsg,
+    StopMsg,
+    SwitchAck,
+    ctrl_packet,
+)
+from repro.phy.csi import CSIReading
+
+
+def test_ctrl_packet_wraps_payload():
+    msg = StopMsg(client=200, new_ap=101)
+    p = ctrl_packet(1, 100, msg, t=2.0)
+    assert p.protocol == "ctrl"
+    assert p.payload is msg
+    assert p.size_bytes == CTRL_PACKET_BYTES
+    assert p.src == 1 and p.dst == 100
+
+
+def test_csi_report_packet_is_larger():
+    reading = CSIReading(time=0.0, ap_id=100, client_id=200,
+                         csi=np.ones(56, dtype=complex), mean_snr_db=20.0)
+    p = ctrl_packet(100, 1, CsiReport(reading=reading), t=0.0)
+    assert p.size_bytes == CSI_PACKET_BYTES
+
+
+def test_explicit_size_override():
+    p = ctrl_packet(1, 2, StopMsg(client=1, new_ap=2), t=0.0, size=999)
+    assert p.size_bytes == 999
+
+
+def test_messages_are_frozen():
+    msg = StartMsg(client=200, index=5)
+    with pytest.raises(Exception):
+        msg.index = 6
+
+
+def test_stop_carries_new_ap_and_attempt():
+    msg = StopMsg(client=200, new_ap=105, attempt=2)
+    assert msg.new_ap == 105
+    assert msg.attempt == 2
+
+
+def test_serving_update_allows_none():
+    assert ServingUpdate(client=200, ap=None).ap is None
+
+
+def test_message_equality():
+    assert SwitchAck(client=1, ap=2) == SwitchAck(client=1, ap=2)
+    assert BaForward(client=1, start_seq=0, bitmap=3) == BaForward(1, 0, 3)
+    assert FtRequest(client=9) == FtRequest(client=9)
+    assert AssocSync(client=1, aid=2) == AssocSync(client=1, aid=2)
+    assert AssocNotify(client=1, ap=None) == AssocNotify(client=1, ap=None)

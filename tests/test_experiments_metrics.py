@@ -1,0 +1,117 @@
+"""Unit tests for the experiment metrics and builder."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.builder import ExperimentConfig, build_network
+from repro.experiments.metrics import (
+    ServingTimeline,
+    cdf,
+    mean_throughput_mbps,
+    throughput_timeseries,
+)
+from repro.mobility import RoadLayout, StationaryTrajectory
+from repro.sim.trace import TraceRecorder
+
+
+class TestThroughput:
+    def test_constant_rate_binning(self):
+        # 1000 bytes every 10 ms = 0.8 Mb/s
+        deliveries = [(0.01 * i, 1000) for i in range(100)]
+        t, mbps = throughput_timeseries(deliveries, 0.0, 1.0, bin_s=0.25)
+        assert len(t) == 4
+        assert np.allclose(mbps, 0.8, rtol=0.1)
+
+    def test_mean_throughput(self):
+        deliveries = [(0.1, 125_000), (0.5, 125_000)]  # 2 Mb over 1 s
+        assert mean_throughput_mbps(deliveries, 0.0, 1.0) == pytest.approx(2.0)
+
+    def test_mean_throughput_respects_window(self):
+        deliveries = [(0.1, 1000), (5.0, 10_000_000)]
+        assert mean_throughput_mbps(deliveries, 0.0, 1.0) == pytest.approx(0.008)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_timeseries([], 1.0, 1.0)
+
+    def test_zero_window_zero_throughput(self):
+        assert mean_throughput_mbps([], 1.0, 1.0) == 0.0
+
+
+class TestCdf:
+    def test_cdf_shape(self):
+        values, probs = cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs[-1] == 1.0
+        assert probs[0] == pytest.approx(1 / 3)
+
+    def test_cdf_empty(self):
+        values, probs = cdf([])
+        assert len(values) == 0
+
+
+class TestServingTimeline:
+    def test_ap_at_lookup(self):
+        tl = ServingTimeline([(1.0, 100), (2.0, 101)])
+        assert tl.ap_at(0.5) is None
+        assert tl.ap_at(1.5) == 100
+        assert tl.ap_at(2.5) == 101
+
+    def test_from_trace_filters_by_client(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "ap_switch", client=200, ap=100)
+        tr.emit(2.0, "ap_switch", client=999, ap=107)
+        tl = ServingTimeline.from_trace(tr, 200)
+        assert tl.switch_count == 1
+        assert tl.ap_at(1.5) == 100
+
+    def test_segments(self):
+        tl = ServingTimeline([(1.0, 100), (2.0, 101)])
+        segs = tl.segments(3.0)
+        assert segs == [(1.0, 2.0, 100), (2.0, 3.0, 101)]
+
+
+class TestBuilder:
+    def test_wgtt_network_shape(self):
+        net = build_network(ExperimentConfig(mode="wgtt", seed=0))
+        assert len(net.aps) == 8
+        assert net.controller is not None
+        # All APs share the WGTT BSSID.
+        assert len({ap.radio.bssid for ap in net.aps}) == 1
+
+    def test_baseline_network_shape(self):
+        net = build_network(ExperimentConfig(mode="baseline", seed=0))
+        # Every AP has its own BSSID.
+        assert len({ap.radio.bssid for ap in net.aps}) == 8
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mode="magic")
+
+    def test_add_client_creates_links_to_every_ap(self):
+        net = build_network(ExperimentConfig(mode="wgtt", seed=0))
+        client = net.add_client(StationaryTrajectory((0.0, 2.0, 1.5)))
+        assert len(net.links_for_client(client)) == 8
+
+    def test_same_seed_reproducible(self):
+        def run_once():
+            net = build_network(ExperimentConfig(mode="wgtt", seed=5))
+            client = net.add_client(StationaryTrajectory(net.road.ap_aim_point(1)))
+            net.run(until=0.5)
+            return net.trace.count("csi"), net.controller.serving_ap(client.node_id)
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_differ(self):
+        def run_once(seed):
+            net = build_network(ExperimentConfig(mode="wgtt", seed=seed))
+            client = net.add_client(StationaryTrajectory(net.road.ap_aim_point(1)))
+            net.run(until=0.5)
+            links = net.links_for_client(client)
+            return links[0].esnr_db(0.25)
+
+        assert run_once(1) != run_once(2)
+
+    def test_build_network_with_overrides(self):
+        net = build_network(mode="baseline", seed=3)
+        assert net.config.mode == "baseline"

@@ -1,0 +1,87 @@
+"""Unit tests for the drive runners and flow attachment helpers."""
+
+import pytest
+
+from repro.experiments.builder import ExperimentConfig, build_network
+from repro.experiments.runners import (
+    attach_tcp_downlink,
+    attach_udp_downlink,
+    attach_udp_uplink,
+    run_single_drive,
+    static_trajectory,
+    tcp_deliveries,
+    udp_deliveries,
+)
+from repro.mobility import RoadLayout
+from repro.transport.tcp import TcpReceiver
+from repro.sim.engine import Simulator
+
+ROAD = RoadLayout.uniform(3)
+
+
+def test_static_trajectory_at_middle_ap():
+    road = RoadLayout.uniform(5)
+    traj = static_trajectory(road)
+    assert traj.position(0.0)[0] == road.ap_x[2]
+
+
+def test_udp_deliveries_conversion():
+    sim = Simulator()
+    from repro.transport.udp import UdpReceiver
+
+    rx = UdpReceiver(sim, flow_id=1)
+    rx.deliveries = [(0.1, 0), (0.2, 1)]
+    assert udp_deliveries(rx, 1476) == [(0.1, 1476), (0.2, 1476)]
+
+
+def test_tcp_deliveries_are_diffs():
+    sim = Simulator()
+    rx = TcpReceiver(sim, lambda p: None, 1, 2, 1)
+    rx.progress = [(0.1, 1000), (0.2, 2500)]
+    assert tcp_deliveries(rx) == [(0.1, 1000), (0.2, 1500)]
+
+
+def test_attach_udp_downlink_wires_flow():
+    net = build_network(ExperimentConfig(mode="wgtt", road=ROAD, seed=1))
+    client = net.add_client(static_trajectory(ROAD))
+    sender, receiver = attach_udp_downlink(net, client, 10.0)
+    assert sender.dst == client.node_id
+    assert receiver.flow_id == sender.flow_id
+    assert sender.flow_id in client.flow_handlers
+
+
+def test_attach_udp_uplink_wires_controller_handler():
+    net = build_network(ExperimentConfig(mode="wgtt", road=ROAD, seed=1))
+    client = net.add_client(static_trajectory(ROAD))
+    sender, receiver = attach_udp_uplink(net, client, 5.0)
+    assert sender.src == client.node_id
+    assert sender.flow_id in net.controller._uplink_handlers
+
+
+def test_attach_tcp_downlink_unique_flow_ids():
+    net = build_network(ExperimentConfig(mode="wgtt", road=ROAD, seed=1))
+    client = net.add_client(static_trajectory(ROAD))
+    s1, _r1 = attach_tcp_downlink(net, client)
+    s2, _r2 = attach_tcp_downlink(net, client)
+    assert s1.flow_id != s2.flow_id
+
+
+def test_run_single_drive_returns_complete_result():
+    result = run_single_drive(mode="wgtt", speed_mph=15.0, traffic="udp",
+                              udp_rate_mbps=10.0, seed=2, road=ROAD)
+    assert result.duration_s > 0
+    assert result.throughput_mbps >= 0
+    assert result.net is not None
+    assert result.client is not None
+    assert result.measure_t1 == result.duration_s
+
+
+def test_run_single_drive_static_defaults_duration():
+    result = run_single_drive(mode="wgtt", speed_mph=0.0, traffic="udp",
+                              udp_rate_mbps=5.0, seed=2, road=ROAD)
+    assert result.duration_s == 10.0
+
+
+def test_run_single_drive_rejects_unknown_traffic():
+    with pytest.raises(ValueError):
+        run_single_drive(mode="wgtt", traffic="carrier-pigeon", road=ROAD)

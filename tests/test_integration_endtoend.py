@@ -1,0 +1,120 @@
+"""End-to-end integration tests: short full-system drives.
+
+These are scaled-down versions of the headline experiments, small enough
+for the unit-test suite, asserting the cross-cutting invariants that no
+single-module test can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    mean_throughput_mbps,
+    run_single_drive,
+    switching_accuracy,
+)
+from repro.mobility import RoadLayout, mph_to_mps
+
+ROAD4 = RoadLayout.uniform(4)  # half-length array keeps these tests quick
+
+
+def coverage(speed_mph, road=ROAD4):
+    v = mph_to_mps(speed_mph)
+    return 15.0 / v, (road.span_m + 15.0) / v
+
+
+@pytest.fixture(scope="module")
+def wgtt_udp_drive():
+    return run_single_drive(mode="wgtt", speed_mph=15.0, traffic="udp",
+                            udp_rate_mbps=40.0, seed=71, road=ROAD4)
+
+
+@pytest.fixture(scope="module")
+def baseline_udp_drive():
+    return run_single_drive(mode="baseline", speed_mph=15.0, traffic="udp",
+                            udp_rate_mbps=40.0, seed=71, road=ROAD4)
+
+
+def test_wgtt_delivers_meaningful_throughput(wgtt_udp_drive):
+    t0, t1 = coverage(15.0)
+    assert mean_throughput_mbps(wgtt_udp_drive.deliveries, t0, t1) > 10.0
+
+
+def test_wgtt_switches_along_the_drive(wgtt_udp_drive):
+    assert wgtt_udp_drive.timeline.switch_count >= 3
+    visited = {ap for _s, _e, ap in
+               wgtt_udp_drive.timeline.segments(wgtt_udp_drive.duration_s)}
+    assert len(visited) >= 3
+
+
+def test_wgtt_beats_baseline(wgtt_udp_drive, baseline_udp_drive):
+    t0, t1 = coverage(15.0)
+    wgtt = mean_throughput_mbps(wgtt_udp_drive.deliveries, t0, t1)
+    base = mean_throughput_mbps(baseline_udp_drive.deliveries, t0, t1)
+    assert wgtt > base
+
+
+def test_no_duplicate_app_deliveries(wgtt_udp_drive):
+    seqs = [r["seq"] for r in wgtt_udp_drive.trace.iter_records("dl_delivered")]
+    assert len(seqs) == len(set(seqs))
+
+
+def test_switching_accuracy_exceeds_baseline(wgtt_udp_drive, baseline_udp_drive):
+    t0, t1 = coverage(15.0)
+
+    def acc(result):
+        net = result.net
+        links = net.links_for_client(result.client)
+        ap_ids = [ap.node_id for ap in net.aps]
+        return switching_accuracy(result.timeline, links, ap_ids, t0, t1,
+                                  sample_s=0.01, tolerance_db=1.0)
+
+    assert acc(wgtt_udp_drive) > acc(baseline_udp_drive) + 0.15
+
+
+def test_csi_reports_flow_continuously(wgtt_udp_drive):
+    t0, t1 = coverage(15.0)
+    times = [t for t in wgtt_udp_drive.trace.times("csi") if t0 < t < t1]
+    # No CSI gap longer than 200 ms while in coverage.
+    gaps = np.diff(sorted(times))
+    assert gaps.max() < 0.2
+
+
+def test_ba_forwarding_engages(wgtt_udp_drive):
+    assert wgtt_udp_drive.trace.count("ba_forwarded") > 0
+
+
+def test_controller_dedup_sees_duplicates():
+    """Uplink data is decoded by several APs, so the de-dup filter must
+    actually suppress copies (multi-AP reception is the diversity
+    mechanism of section 3.2)."""
+    from repro.experiments import ExperimentConfig, attach_udp_uplink, build_network
+    from repro.mobility import LinearTrajectory
+
+    net = build_network(ExperimentConfig(mode="wgtt", road=ROAD4, seed=75))
+    client = net.add_client(LinearTrajectory.drive_through(ROAD4, 15.0))
+    sender, receiver = attach_udp_uplink(net, client, 5.0)
+    net.sim.schedule(2.0, sender.start)
+    net.run(until=6.0)
+    assert receiver.packets_received > 50
+    assert net.controller.dedup.duplicates > 0
+
+
+def test_simulation_determinism():
+    a = run_single_drive(mode="wgtt", speed_mph=15.0, traffic="udp",
+                         udp_rate_mbps=20.0, seed=99, road=ROAD4,
+                         duration_s=4.0)
+    b = run_single_drive(mode="wgtt", speed_mph=15.0, traffic="udp",
+                         udp_rate_mbps=20.0, seed=99, road=ROAD4,
+                         duration_s=4.0)
+    assert a.deliveries == b.deliveries
+    assert a.net.sim.events_fired == b.net.sim.events_fired
+
+
+def test_wgtt_tcp_short_drive_progresses():
+    result = run_single_drive(mode="wgtt", speed_mph=15.0, traffic="tcp",
+                              seed=73, road=ROAD4)
+    assert result.receiver.rcv_nxt > 1_000_000  # at least ~1 MB landed
+    # MAC reordering must be invisible to TCP.
+    values = [b for _t, b in result.receiver.progress]
+    assert values == sorted(values)

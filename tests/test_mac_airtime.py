@@ -1,0 +1,77 @@
+"""Unit tests for 802.11 timing and airtime computation."""
+
+import pytest
+
+from repro.mac.airtime import (
+    DEFAULT_TIMING,
+    ampdu_airtime_s,
+    beacon_airtime_s,
+    block_ack_airtime_s,
+    control_frame_airtime_s,
+    max_mpdus_for_airtime,
+    mpdu_wire_bytes,
+)
+from repro.phy.mcs import MCS_TABLE
+
+
+def test_mpdu_overhead_added():
+    assert mpdu_wire_bytes(1500) == 1534
+
+
+def test_single_mpdu_airtime_reasonable():
+    # 1500 B at MCS7 (72.2 Mb/s): ~170 us + preamble.
+    airtime = ampdu_airtime_s([1500], MCS_TABLE[7])
+    assert 150e-6 < airtime < 250e-6
+
+
+def test_airtime_scales_with_mpdu_count():
+    one = ampdu_airtime_s([1500], MCS_TABLE[4])
+    ten = ampdu_airtime_s([1500] * 10, MCS_TABLE[4])
+    assert ten > 8 * (one - DEFAULT_TIMING.preamble_s)
+
+
+def test_airtime_lower_at_higher_mcs():
+    slow = ampdu_airtime_s([1500] * 4, MCS_TABLE[0])
+    fast = ampdu_airtime_s([1500] * 4, MCS_TABLE[7])
+    assert fast < slow / 5
+
+
+def test_airtime_rounds_to_symbols():
+    airtime = ampdu_airtime_s([100], MCS_TABLE[0])
+    data = airtime - DEFAULT_TIMING.preamble_s
+    n_symbols = data / DEFAULT_TIMING.symbol_s
+    assert n_symbols == pytest.approx(round(n_symbols))
+
+
+def test_empty_ampdu_rejected():
+    with pytest.raises(ValueError):
+        ampdu_airtime_s([], MCS_TABLE[0])
+
+
+def test_block_ack_airtime_short():
+    assert block_ack_airtime_s() < 100e-6
+
+
+def test_beacon_slower_than_block_ack():
+    assert beacon_airtime_s() > block_ack_airtime_s()
+
+
+def test_control_frame_rate_override():
+    slow = control_frame_airtime_s(100, rate_mbps=6.0)
+    fast = control_frame_airtime_s(100, rate_mbps=24.0)
+    assert slow > fast
+
+
+def test_max_mpdus_respects_count_cap():
+    # Small frames at MCS7 hit the 32-frame driver cap, not airtime.
+    assert max_mpdus_for_airtime(200, MCS_TABLE[7]) == DEFAULT_TIMING.max_ampdu_frames
+
+
+def test_max_mpdus_respects_airtime_cap():
+    n = max_mpdus_for_airtime(1500, MCS_TABLE[0])
+    assert 1 <= n < DEFAULT_TIMING.max_ampdu_frames
+    assert ampdu_airtime_s([1500] * n, MCS_TABLE[0]) <= DEFAULT_TIMING.max_ampdu_airtime_s
+
+
+def test_difs_longer_than_sifs():
+    assert DEFAULT_TIMING.difs_s > DEFAULT_TIMING.sifs_s

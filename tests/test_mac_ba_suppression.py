@@ -1,0 +1,41 @@
+"""Tests for responder-side BA deferral (the Table 3 mechanism)."""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, attach_udp_uplink, build_network
+from repro.mobility import RoadLayout, StationaryTrajectory
+
+
+def test_multiple_decoding_aps_defer_to_first_ba():
+    """With a client mid-way between two APs, both decode its uplink
+    frames; the later responder suppresses its BA instead of colliding."""
+    road = RoadLayout.uniform(2)
+    net = build_network(ExperimentConfig(mode="wgtt", road=road, seed=5))
+    # Halfway between the APs: both links are usable.
+    mid_x = (road.ap_x[0] + road.ap_x[1]) / 2.0
+    client = net.add_client(StationaryTrajectory((mid_x, 3.75, 1.5)))
+    sender, receiver = attach_udp_uplink(net, client, 8.0)
+    net.sim.schedule(0.3, sender.start)
+    net.run(until=3.0)
+    assert receiver.packets_received > 100
+    assert net.medium.responses_suppressed > 0
+    # Collisions at the client are rare relative to exchanges.
+    collisions = sum(
+        1 for r in net.trace.iter_records("phy_collision")
+        if r["rx"] == client.node_id
+    )
+    aggregates = sum(
+        1 for r in net.trace.iter_records("ampdu_tx") if r["uplink"]
+    )
+    assert collisions < 0.05 * max(aggregates, 1)
+
+
+def test_single_ap_never_suppresses():
+    road = RoadLayout.uniform(1)
+    net = build_network(ExperimentConfig(mode="wgtt", road=road, seed=6))
+    client = net.add_client(StationaryTrajectory(road.ap_aim_point(0)))
+    sender, receiver = attach_udp_uplink(net, client, 8.0)
+    net.sim.schedule(0.3, sender.start)
+    net.run(until=2.0)
+    assert receiver.packets_received > 100
+    assert net.medium.responses_suppressed == 0

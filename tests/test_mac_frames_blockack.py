@@ -1,0 +1,142 @@
+"""Unit and property tests for frames, BA bitmaps, and the scoreboard."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.block_ack import BlockAckScoreboard, SequenceCounter, seq_distance
+from repro.mac.frames import SEQ_MODULO, Ampdu, BlockAck, Mpdu
+from repro.net.packet import Packet
+from repro.phy.mcs import MCS_TABLE
+
+
+def mpdu(seq, size=1500):
+    return Mpdu(packet=Packet(size_bytes=size, src=1, dst=2), seq=seq)
+
+
+class TestSequenceCounter:
+    def test_starts_at_zero_per_peer(self):
+        c = SequenceCounter()
+        assert c.allocate(1) == 0
+        assert c.allocate(2) == 0
+
+    def test_increments(self):
+        c = SequenceCounter()
+        assert [c.allocate(1) for _ in range(3)] == [0, 1, 2]
+
+    def test_wraps_at_4096(self):
+        c = SequenceCounter()
+        for _ in range(SEQ_MODULO):
+            c.allocate(1)
+        assert c.allocate(1) == 0
+
+    def test_peek_does_not_advance(self):
+        c = SequenceCounter()
+        c.allocate(1)
+        assert c.peek(1) == 1
+        assert c.peek(1) == 1
+
+
+def test_seq_distance_wraps():
+    assert seq_distance(4090, 5) == 11
+    assert seq_distance(5, 4090) == 4085
+
+
+class TestAmpdu:
+    def test_requires_mpdus(self):
+        with pytest.raises(ValueError):
+            Ampdu(src=1, dst=2, mpdus=[], mcs=MCS_TABLE[0])
+
+    def test_totals(self):
+        a = Ampdu(src=1, dst=2, mpdus=[mpdu(0), mpdu(1)], mcs=MCS_TABLE[0])
+        assert a.n_mpdus == 2
+        assert a.total_payload_bytes == 3000
+        assert a.seqs() == [0, 1]
+
+
+class TestBlockAckBitmap:
+    def test_for_seqs_roundtrip(self):
+        ba = BlockAck.for_seqs(src=1, dst=2, seqs=[5, 7, 9], start_seq=5)
+        assert sorted(ba.acked) == [5, 7, 9]
+
+    def test_window_limited_to_64(self):
+        ba = BlockAck.for_seqs(src=1, dst=2, seqs=[0, 63, 64], start_seq=0)
+        assert sorted(ba.acked) == [0, 63]  # 64 falls outside the bitmap
+
+    def test_wraparound_sequences(self):
+        ba = BlockAck.for_seqs(src=1, dst=2, seqs=[4094, 4095, 0, 1], start_seq=4094)
+        assert sorted(ba.acked) == [0, 1, 4094, 4095]
+
+    @given(
+        start=st.integers(0, SEQ_MODULO - 1),
+        offsets=st.sets(st.integers(0, 63), min_size=1, max_size=64),
+    )
+    def test_property_bitmap_encodes_exactly_the_window(self, start, offsets):
+        seqs = [(start + o) % SEQ_MODULO for o in offsets]
+        ba = BlockAck.for_seqs(src=1, dst=2, seqs=seqs, start_seq=start)
+        assert sorted(ba.acked) == sorted(seqs)
+
+
+class TestScoreboard:
+    def test_ack_resolves_in_flight(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([0, 1, 2])
+        ba = BlockAck.for_seqs(src=9, dst=1, seqs=[0, 2], start_seq=0)
+        acked, unacked = sb.apply_block_ack(ba)
+        assert sorted(acked) == [0, 2]
+        assert unacked == [1]
+        assert sb.in_flight == {1}
+
+    def test_duplicate_ba_ignored(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([0, 1])
+        ba = BlockAck.for_seqs(src=9, dst=1, seqs=[0], start_seq=0)
+        assert sb.apply_block_ack(ba) is not None
+        dup = BlockAck(src=9, dst=1, start_seq=ba.start_seq, bitmap=ba.bitmap)
+        assert sb.apply_block_ack(dup) is None
+        assert sb.bas_duplicate == 1
+
+    def test_different_bitmaps_both_apply(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([0, 1])
+        first = BlockAck.for_seqs(src=9, dst=1, seqs=[0], start_seq=0)
+        second = BlockAck.for_seqs(src=9, dst=1, seqs=[1], start_seq=0)
+        assert sb.apply_block_ack(first) is not None
+        assert sb.apply_block_ack(second) is not None
+        assert sb.in_flight == set()
+
+    def test_forget_discards(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([7])
+        sb.forget([7])
+        assert sb.in_flight == set()
+
+    def test_reset_clears_duplicate_history(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([0])
+        ba = BlockAck.for_seqs(src=9, dst=1, seqs=[0], start_seq=0)
+        sb.apply_block_ack(ba)
+        sb.reset()
+        sb.record_sent([0])
+        assert sb.apply_block_ack(ba) is not None
+
+    def test_unacked_restricted_to_window(self):
+        sb = BlockAckScoreboard()
+        sb.record_sent([0, 1, 100])  # 100 is outside the BA window
+        ba = BlockAck.for_seqs(src=9, dst=1, seqs=[0], start_seq=0)
+        _acked, unacked = sb.apply_block_ack(ba)
+        assert 100 not in unacked
+
+    @given(
+        sent=st.sets(st.integers(0, 63), min_size=1, max_size=32),
+        delivered=st.sets(st.integers(0, 63), max_size=32),
+    )
+    def test_property_partition(self, sent, delivered):
+        """Property: a BA partitions the window's in-flight frames into
+        acked + unacked with nothing lost."""
+        sb = BlockAckScoreboard()
+        sb.record_sent(sorted(sent))
+        ba = BlockAck.for_seqs(src=9, dst=1, seqs=sorted(delivered), start_seq=0)
+        acked, unacked = sb.apply_block_ack(ba)
+        assert set(acked) == sent & delivered
+        assert set(unacked) == sent - delivered

@@ -1,0 +1,113 @@
+"""Focused tests of Radio aggregation/retry logic via a tiny live net."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, build_network
+from repro.mac.airtime import DEFAULT_TIMING, ampdu_airtime_s
+from repro.mobility import RoadLayout, StationaryTrajectory
+from repro.net.packet import Packet
+
+
+def one_ap_net(seed=0):
+    net = build_network(ExperimentConfig(mode="wgtt", road=RoadLayout.uniform(1), seed=seed))
+    client = net.add_client(StationaryTrajectory(net.road.ap_aim_point(0)))
+    return net, client
+
+
+def feed(net, client, n):
+    for seq in range(n):
+        net.controller.send_downlink(
+            Packet(size_bytes=1476, src=net.server_id, dst=client.node_id,
+                   protocol="udp", flow_id=1, seq=seq)
+        )
+
+
+def test_aggregate_respects_airtime_cap():
+    net, client = one_ap_net()
+    net.run(until=0.3)
+    feed(net, client, 500)
+    net.run(until=1.0)
+    for r in net.trace.iter_records("ampdu_tx"):
+        if r["uplink"]:
+            continue
+        from repro.phy.mcs import MCS_TABLE
+
+        airtime = ampdu_airtime_s([1476] * r["n_mpdus"], MCS_TABLE[r["mcs"]])
+        assert airtime <= DEFAULT_TIMING.max_ampdu_airtime_s + 1e-9
+        assert r["n_mpdus"] <= DEFAULT_TIMING.max_ampdu_frames
+
+
+def test_mpdus_acked_tracks_deliveries():
+    net, client = one_ap_net()
+    net.run(until=0.3)
+    feed(net, client, 100)
+    net.run(until=1.0)
+    ap = net.aps[0]
+    state = ap.radio.peers[client.node_id]
+    assert state.mpdus_acked == client.downlink_received
+    assert state.mpdus_sent >= state.mpdus_acked
+
+
+def test_stop_and_wait_one_exchange_at_a_time():
+    """The MAC never has two data aggregates of its own in flight."""
+    net, client = one_ap_net()
+    net.run(until=0.3)
+    feed(net, client, 300)
+    net.run(until=1.0)
+    # Reconstruct AP transmissions; consecutive starts must be separated
+    # by at least the previous frame's airtime (stop-and-wait + BA).
+    from repro.phy.mcs import MCS_TABLE
+
+    last_end = 0.0
+    for r in net.trace.iter_records("ampdu_tx"):
+        if r["uplink"]:
+            continue
+        start = r.time
+        assert start >= last_end - 1e-9
+        last_end = start + ampdu_airtime_s([1476] * r["n_mpdus"], MCS_TABLE[r["mcs"]])
+
+
+def test_flush_retries_counts_drops():
+    net, client = one_ap_net()
+    ap = net.aps[0]
+    state = ap.radio.peer(client.node_id)
+    from repro.mac.frames import Mpdu
+
+    for seq in range(5):
+        state.retry_queue.append(
+            Mpdu(packet=Packet(size_bytes=100, src=1, dst=client.node_id), seq=seq)
+        )
+    state.scoreboard.record_sent(list(range(5)))
+    dropped = ap.radio.flush_retries(client.node_id)
+    assert dropped == 5
+    assert len(state.retry_queue) == 0
+    assert state.scoreboard.in_flight == set()
+    assert state.mpdus_dropped == 5
+
+
+def test_flush_retries_unknown_peer_is_noop():
+    net, client = one_ap_net()
+    assert net.aps[0].radio.flush_retries(99999) == 0
+
+
+def test_reset_peer_clears_ba_wait():
+    net, client = one_ap_net()
+    radio = client.radio
+    radio._awaiting_ba = (net.bssid, None)
+    radio.reset_peer(net.bssid)
+    assert radio._awaiting_ba is None
+
+
+def test_disabled_radio_does_not_transmit():
+    net, client = one_ap_net()
+    net.run(until=0.3)
+    before = net.medium.data_transmissions
+    net.aps[0].radio.enabled = False
+    feed(net, client, 50)
+    net.run(until=0.8)
+    after_dl = [
+        r for r in net.trace.iter_records("ampdu_tx")
+        if not r["uplink"] and r.time > 0.3
+    ]
+    assert after_dl == []

@@ -1,0 +1,115 @@
+"""Unit tests for road layout, trajectories, and scenarios."""
+
+import pytest
+
+from repro.mobility.scenarios import following, opposing, parallel
+from repro.mobility.trajectory import (
+    DEFAULT_AP_SPACING_M,
+    FAR_LANE_Y_M,
+    NEAR_LANE_Y_M,
+    LinearTrajectory,
+    RoadLayout,
+    StationaryTrajectory,
+    mph_to_mps,
+)
+
+
+def test_mph_conversion():
+    assert mph_to_mps(15.0) == pytest.approx(6.7056)
+
+
+class TestRoadLayout:
+    def test_default_eight_aps_at_7_5m(self):
+        road = RoadLayout()
+        assert road.n_aps == 8
+        assert road.ap_x[1] - road.ap_x[0] == DEFAULT_AP_SPACING_M
+        assert road.span_m == pytest.approx(52.5)
+
+    def test_uniform_factory(self):
+        road = RoadLayout.uniform(4, 10.0)
+        assert road.ap_x == [0.0, 10.0, 20.0, 30.0]
+
+    def test_uniform_requires_aps(self):
+        with pytest.raises(ValueError):
+            RoadLayout.uniform(0)
+
+    def test_two_density_layout(self):
+        road = RoadLayout.two_density(3, 3, 7.5, 15.0)
+        xs = road.ap_x
+        assert xs[1] - xs[0] == 7.5
+        assert xs[-1] - xs[-2] == 15.0
+        assert road.n_aps == 6
+
+    def test_ap_position_is_elevated_and_set_back(self):
+        road = RoadLayout()
+        x, y, z = road.ap_position(0)
+        assert y < 0 and z > 5
+
+    def test_aim_point_on_road(self):
+        road = RoadLayout()
+        _x, y, z = road.ap_aim_point(2)
+        assert NEAR_LANE_Y_M <= y <= FAR_LANE_Y_M
+        assert z < 2.0
+
+    def test_segment_bounds(self):
+        road = RoadLayout()
+        assert road.segment_bounds(0, 3) == (0.0, 22.5)
+
+
+class TestTrajectories:
+    def test_stationary_never_moves(self):
+        traj = StationaryTrajectory((1.0, 2.0, 3.0))
+        assert traj.position(0.0) == traj.position(100.0)
+        assert traj.speed_mps == 0.0
+
+    def test_linear_constant_velocity(self):
+        traj = LinearTrajectory(start_x=0.0, speed_mps=5.0)
+        assert traj.position(2.0)[0] == pytest.approx(10.0)
+
+    def test_reverse_direction(self):
+        traj = LinearTrajectory(start_x=10.0, speed_mps=-5.0)
+        assert traj.position(1.0)[0] == pytest.approx(5.0)
+        assert traj.speed_mps == 5.0  # unsigned
+
+    def test_drive_through_starts_before_array(self):
+        road = RoadLayout()
+        traj = LinearTrajectory.drive_through(road, 15.0, lead_in_m=15.0)
+        assert traj.position(0.0)[0] == pytest.approx(-15.0)
+
+    def test_drive_through_reverse_starts_after_array(self):
+        road = RoadLayout()
+        traj = LinearTrajectory.drive_through(road, 15.0, reverse=True)
+        assert traj.position(0.0)[0] > road.span_m
+        assert traj.speed_signed_mps < 0
+
+    def test_transit_duration(self):
+        road = RoadLayout()
+        traj = LinearTrajectory.drive_through(road, 15.0, lead_in_m=15.0)
+        duration = traj.transit_duration(road, lead_out_m=15.0)
+        assert duration == pytest.approx((52.5 + 30.0) / mph_to_mps(15.0))
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory.drive_through(RoadLayout(), 0.0)
+
+    def test_start_time_offset(self):
+        traj = LinearTrajectory(start_x=0.0, speed_mps=5.0, start_time=10.0)
+        assert traj.position(10.0)[0] == 0.0
+
+
+class TestScenarios:
+    def test_following_spacing(self):
+        road = RoadLayout()
+        lead, trail = following(road, 15.0, spacing_m=3.0)
+        assert lead.position(0)[0] - trail.position(0)[0] == pytest.approx(3.0)
+        assert lead.lane_y == trail.lane_y
+
+    def test_parallel_lanes_differ(self):
+        a, b = parallel(RoadLayout())
+        assert a.lane_y != b.lane_y
+        assert a.position(0)[0] == b.position(0)[0]
+
+    def test_opposing_directions(self):
+        a, b = opposing(RoadLayout())
+        assert a.speed_signed_mps > 0 > b.speed_signed_mps
+        assert a.lane_y != b.lane_y

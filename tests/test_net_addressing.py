@@ -1,0 +1,52 @@
+"""Unit tests for node id allocation and address formatting."""
+
+import pytest
+
+from repro.net.addressing import NodeIdAllocator, format_ip, format_mac
+
+
+def test_format_mac_locally_administered():
+    mac = format_mac(0x01020304)
+    assert mac == "02:00:01:02:03:04"
+
+
+def test_format_mac_range_check():
+    with pytest.raises(ValueError):
+        format_mac(-1)
+    with pytest.raises(ValueError):
+        format_mac(1 << 33)
+
+
+def test_format_ip():
+    assert format_ip(0x0102) == "10.0.1.2"
+
+
+def test_format_ip_range_check():
+    with pytest.raises(ValueError):
+        format_ip(1 << 17)
+
+
+def test_roles_get_disjoint_ranges():
+    alloc = NodeIdAllocator()
+    infra = alloc.allocate("infra")
+    ap = alloc.allocate("ap")
+    client = alloc.allocate("client")
+    assert infra < 100 <= ap < 200 <= client
+
+
+def test_sequential_allocation():
+    alloc = NodeIdAllocator()
+    assert alloc.allocate("ap") + 1 == alloc.allocate("ap")
+
+
+def test_unknown_role_rejected():
+    with pytest.raises(ValueError):
+        NodeIdAllocator().allocate("satellite")
+
+
+def test_range_exhaustion():
+    alloc = NodeIdAllocator()
+    for _ in range(99):
+        alloc.allocate("infra")
+    with pytest.raises(RuntimeError):
+        alloc.allocate("infra")

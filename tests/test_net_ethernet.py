@@ -1,0 +1,110 @@
+"""Unit tests for the Ethernet backhaul."""
+
+import numpy as np
+import pytest
+
+from repro.net.ethernet import Backhaul, BackhaulParams
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def make_backhaul(seed=0, **params):
+    sim = Simulator()
+    bh = Backhaul(sim, np.random.default_rng(seed), params=BackhaulParams(**params))
+    return sim, bh
+
+
+def packet(n=100):
+    return Packet(size_bytes=n, src=1, dst=2)
+
+
+def test_delivery_with_latency():
+    sim, bh = make_backhaul(jitter_s=0.0)
+    got = []
+    bh.register(2, lambda p, src: got.append((sim.now, src)))
+    bh.register(1, lambda p, src: None)
+    bh.send(1, 2, packet())
+    sim.run()
+    assert len(got) == 1
+    t, src = got[0]
+    assert src == 1
+    assert t >= bh.params.base_latency_s
+
+
+def test_unknown_destination_raises():
+    sim, bh = make_backhaul()
+    bh.register(1, lambda p, s: None)
+    with pytest.raises(KeyError):
+        bh.send(1, 99, packet())
+
+
+def test_duplicate_registration_rejected():
+    _sim, bh = make_backhaul()
+    bh.register(1, lambda p, s: None)
+    with pytest.raises(ValueError):
+        bh.register(1, lambda p, s: None)
+
+
+def test_fifo_per_pair_despite_jitter():
+    """Switched Ethernet must never reorder one flow (regression: cyclic
+    queue holes came from jitter-induced reordering)."""
+    sim, bh = make_backhaul(jitter_s=500e-6)
+    got = []
+    bh.register(2, lambda p, src: got.append(p.seq))
+    bh.register(1, lambda p, s: None)
+    for i in range(200):
+        p = packet()
+        p.seq = i
+        sim.schedule(i * 1e-6, bh.send, 1, 2, p)
+    sim.run()
+    assert got == list(range(200))
+
+
+def test_loss_probability():
+    sim, bh = make_backhaul(loss_probability=1.0)
+    got = []
+    bh.register(2, lambda p, src: got.append(p))
+    bh.register(1, lambda p, s: None)
+    bh.send(1, 2, packet())
+    sim.run()
+    assert got == []
+    assert bh.packets_lost == 1
+
+
+def test_serialization_delay_scales_with_size():
+    sim1, bh1 = make_backhaul(jitter_s=0.0, bandwidth_bps=1e6)
+    arrivals = {}
+    bh1.register(2, lambda p, src: arrivals.setdefault(p.size_bytes, sim1.now))
+    bh1.register(1, lambda p, s: None)
+    bh1.send(1, 2, packet(100))
+    sim1.run()
+    sim1_small = arrivals[100]
+    bh1.send(1, 2, packet(10000))
+    sim1.run()
+    assert arrivals[10000] - sim1_small > 0.07  # ~79 ms more at 1 Mb/s
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    sim, bh = make_backhaul()
+    got = []
+    for node in (1, 2, 3):
+        bh.register(node, lambda p, src, node=node: got.append(node))
+    bh.broadcast(1, lambda: packet())
+    sim.run()
+    assert sorted(got) == [2, 3]
+
+
+def test_counters():
+    sim, bh = make_backhaul()
+    bh.register(2, lambda p, s: None)
+    bh.register(1, lambda p, s: None)
+    bh.send(1, 2, packet(150))
+    assert bh.packets_sent == 1
+    assert bh.bytes_sent == 150
+
+
+def test_is_registered():
+    _sim, bh = make_backhaul()
+    bh.register(5, lambda p, s: None)
+    assert bh.is_registered(5)
+    assert not bh.is_registered(6)

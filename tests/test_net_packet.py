@@ -1,0 +1,88 @@
+"""Unit and property tests for packets, tunneling, de-dup keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import TUNNEL_HEADER_BYTES, Packet
+
+
+def make(size=1500, **kw):
+    kw.setdefault("src", 1)
+    kw.setdefault("dst", 200)
+    return Packet(size_bytes=size, **kw)
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        make(size=0)
+
+
+def test_uids_unique():
+    assert make().uid != make().uid
+
+
+def test_encapsulate_adds_header_bytes():
+    p = make(size=1000)
+    p.encapsulate(1, 100)
+    assert p.size_bytes == 1000 + TUNNEL_HEADER_BYTES
+    assert p.is_tunneled
+
+
+def test_decapsulate_restores_size_and_returns_layer():
+    p = make(size=1000)
+    p.encapsulate(1, 100)
+    outer = p.decapsulate()
+    assert outer == (1, 100)
+    assert p.size_bytes == 1000
+    assert not p.is_tunneled
+
+
+def test_nested_tunneling_lifo():
+    p = make()
+    p.encapsulate(1, 100)
+    p.encapsulate(100, 1)
+    assert p.decapsulate() == (100, 1)
+    assert p.decapsulate() == (1, 100)
+
+
+def test_decapsulate_untunneled_rejected():
+    with pytest.raises(ValueError):
+        make().decapsulate()
+
+
+def test_dedup_key_is_48_bits():
+    p = make()
+    assert 0 <= p.dedup_key() < (1 << 48)
+
+
+def test_dedup_key_distinguishes_ip_id():
+    a = make(ip_id=1)
+    b = make(ip_id=2)
+    assert a.dedup_key() != b.dedup_key()
+
+
+def test_dedup_key_distinguishes_source():
+    a = make(ip_id=7)
+    a.src = 200
+    b = make(ip_id=7)
+    b.src = 201
+    assert a.dedup_key() != b.dedup_key()
+
+
+def test_ip_id_wraps_16_bits():
+    p = make(ip_id=0x1FFFF)
+    assert p.dedup_key() & 0xFFFF == 0xFFFF
+
+
+@given(src=st.integers(0, 2**32 - 1), ip_id=st.integers(0, 2**16 - 1))
+def test_dedup_key_roundtrip(src, ip_id):
+    """Property: the 48-bit key encodes (src, ip_id) injectively."""
+    p = Packet(size_bytes=100, src=src, dst=0, ip_id=ip_id)
+    key = p.dedup_key()
+    assert key >> 16 == src
+    assert key & 0xFFFF == ip_id
+
+
+def test_wgtt_index_default_none():
+    assert make().wgtt_index is None

@@ -1,0 +1,104 @@
+"""Unit and property tests for the drop-tail queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.queues import DropTailQueue
+
+
+def test_fifo_order():
+    q = DropTailQueue()
+    for i in range(5):
+        q.enqueue(i)
+    assert [q.dequeue() for _ in range(5)] == list(range(5))
+
+
+def test_dequeue_empty_returns_none():
+    assert DropTailQueue().dequeue() is None
+
+
+def test_peek_does_not_remove():
+    q = DropTailQueue()
+    q.enqueue("a")
+    assert q.peek() == "a"
+    assert len(q) == 1
+
+
+def test_capacity_enforced_with_drop_count():
+    q = DropTailQueue(capacity=2)
+    assert q.enqueue(1)
+    assert q.enqueue(2)
+    assert not q.enqueue(3)
+    assert q.stats.dropped == 1
+    assert len(q) == 2
+
+
+def test_requeue_front_bypasses_capacity():
+    q = DropTailQueue(capacity=1)
+    q.enqueue(1)
+    q.requeue_front(0)
+    assert len(q) == 2
+    assert q.dequeue() == 0
+
+
+def test_drain_empties_and_returns_all():
+    q = DropTailQueue()
+    q.extend([1, 2, 3])
+    assert q.drain() == [1, 2, 3]
+    assert len(q) == 0
+
+
+def test_remove_if_filters():
+    q = DropTailQueue()
+    q.extend(range(10))
+    removed = q.remove_if(lambda x: x % 2 == 0)
+    assert removed == 5
+    assert list(q) == [1, 3, 5, 7, 9]
+
+
+def test_extend_reports_accepted():
+    q = DropTailQueue(capacity=3)
+    assert q.extend(range(5)) == 3
+
+
+def test_is_full_and_bool():
+    q = DropTailQueue(capacity=1)
+    assert not q
+    assert not q.is_full
+    q.enqueue(1)
+    assert q
+    assert q.is_full
+
+
+def test_unbounded_queue():
+    q = DropTailQueue()
+    assert q.extend(range(10_000)) == 10_000
+    assert not q.is_full
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        DropTailQueue(capacity=0)
+
+
+def test_stats_counters():
+    q = DropTailQueue(capacity=2)
+    q.enqueue(1)
+    q.enqueue(2)
+    q.enqueue(3)
+    q.dequeue()
+    assert q.stats.enqueued == 2
+    assert q.stats.dequeued == 1
+    assert q.stats.dropped == 1
+
+
+@given(st.lists(st.integers(), max_size=200), st.integers(1, 50))
+def test_property_fifo_with_capacity(items, capacity):
+    """Property: the queue keeps exactly the first `capacity` items in order."""
+    q = DropTailQueue(capacity=capacity)
+    for item in items:
+        q.enqueue(item)
+    expected = items[:capacity]
+    assert [q.dequeue() for _ in range(len(expected))] == expected
+    assert q.dequeue() is None

@@ -1,0 +1,81 @@
+"""Unit tests for antenna patterns."""
+
+import math
+
+import pytest
+
+from repro.phy.antenna import OmniAntenna, ParabolicAntenna, angle_between_deg
+
+
+def test_angle_between_parallel_vectors_is_zero():
+    assert angle_between_deg((1, 0, 0), (2, 0, 0)) == pytest.approx(0.0)
+
+
+def test_angle_between_orthogonal_vectors():
+    assert angle_between_deg((1, 0, 0), (0, 1, 0)) == pytest.approx(90.0)
+
+
+def test_angle_between_opposite_vectors():
+    assert angle_between_deg((1, 0, 0), (-1, 0, 0)) == pytest.approx(180.0)
+
+
+def test_zero_vector_rejected():
+    with pytest.raises(ValueError):
+        angle_between_deg((0, 0, 0), (1, 0, 0))
+
+
+def test_omni_gain_is_flat():
+    ant = OmniAntenna(2.0)
+    assert ant.gain_db(0) == 2.0
+    assert ant.gain_db(123) == 2.0
+    assert ant.gain_towards((0, 0, 0), (5, 5, 5)) == 2.0
+
+
+def test_parabolic_boresight_gain():
+    ant = ParabolicAntenna(peak_gain_dbi=14.0)
+    assert ant.gain_db(0.0) == pytest.approx(14.0)
+
+
+def test_parabolic_3db_point_at_half_beamwidth():
+    ant = ParabolicAntenna(peak_gain_dbi=14.0, beamwidth_deg=17.0)
+    assert ant.gain_db(8.5) == pytest.approx(14.0 - 3.0)
+
+
+def test_parabolic_pattern_symmetric():
+    ant = ParabolicAntenna()
+    assert ant.gain_db(10.0) == ant.gain_db(-10.0)
+
+
+def test_parabolic_sidelobe_floor():
+    ant = ParabolicAntenna(peak_gain_dbi=14.0, sidelobe_down_db=30.0)
+    assert ant.gain_db(180.0) == pytest.approx(14.0 - 30.0)
+
+
+def test_parabolic_monotone_over_main_lobe():
+    ant = ParabolicAntenna()
+    gains = [ant.gain_db(theta) for theta in range(0, 30, 2)]
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_aimed_at_boresight_points_at_target():
+    ant = ParabolicAntenna.aimed_at((0, 0, 10), (0, 10, 0))
+    # Gain straight at the target equals the peak.
+    assert ant.gain_towards((0, 0, 10), (0, 10, 0)) == pytest.approx(ant.peak_gain_dbi)
+
+
+def test_gain_towards_drops_off_axis():
+    position, target = (0.0, -8.0, 10.0), (0.0, 3.75, 1.5)
+    ant = ParabolicAntenna.aimed_at(position, target)
+    on_axis = ant.gain_towards(position, target)
+    off_axis = ant.gain_towards(position, (10.0, 3.75, 1.5))
+    assert off_axis < on_axis - 5.0
+
+
+def test_invalid_beamwidth_rejected():
+    with pytest.raises(ValueError):
+        ParabolicAntenna(beamwidth_deg=0.0)
+
+
+def test_negative_sidelobe_rejected():
+    with pytest.raises(ValueError):
+        ParabolicAntenna(sidelobe_down_db=-1.0)

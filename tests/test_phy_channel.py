@@ -1,0 +1,117 @@
+"""Unit tests for the composite Link channel."""
+
+import numpy as np
+import pytest
+
+from repro.phy.antenna import ParabolicAntenna
+from repro.phy.channel import Link, RadioParams
+
+
+def make_link(seed=0, speed=6.7, params=None):
+    position = (0.0, -8.0, 10.0)
+    antenna = ParabolicAntenna.aimed_at(position, (0.0, 3.75, 1.5))
+    return Link(
+        ap_position=position,
+        ap_antenna=antenna,
+        client_position_fn=lambda t: (speed * t - 20.0, 2.0, 1.5),
+        speed_mps=speed,
+        rng=np.random.default_rng(seed),
+        params=params,
+    )
+
+
+def test_distance_positive_and_changes_with_time():
+    link = make_link()
+    assert link.distance_m(0.0) > 0
+    assert link.distance_m(0.0) != link.distance_m(2.0)
+
+
+def test_mean_snr_peaks_near_boresight():
+    link = make_link()
+    t_bore = 20.0 / 6.7  # x == 0
+    snr_bore = link.mean_snr_db(t_bore)
+    snr_far = link.mean_snr_db(t_bore + 10.0 / 6.7)
+    assert snr_bore > snr_far + 10.0
+
+
+def test_boresight_snr_in_calibrated_range():
+    link = make_link()
+    snr = link.mean_snr_db(20.0 / 6.7)
+    assert 30.0 < snr < 45.0
+
+
+def test_cell_size_is_meter_scale():
+    """The usable cell (mean SNR > 10 dB) spans roughly 8-12 m of road,
+    giving 5 m cells with the 6-10 m overlap Fig. 10 reports."""
+    link = make_link()
+    xs = np.arange(-15.0, 15.1, 0.5)
+    usable = [x for x in xs if link.mean_snr_db((x + 20.0) / 6.7) > 10.0]
+    width = max(usable) - min(usable)
+    assert 6.0 < width < 16.0
+
+
+def test_uplink_weaker_than_downlink_by_power_difference():
+    link = make_link()
+    params = link.params
+    t = 3.0
+    delta = link.mean_snr_db(t) - link.mean_snr_db(t, uplink=True)
+    assert delta == pytest.approx(
+        params.ap_tx_power_dbm - params.client_tx_power_dbm
+    )
+
+
+def test_csi_has_56_subcarriers_unit_mean_power():
+    link = make_link()
+    powers = [np.mean(np.abs(link.csi(t)) ** 2) for t in np.linspace(1, 10, 200)]
+    assert len(link.csi(0.0)) == 56
+    assert np.mean(powers) == pytest.approx(1.0, rel=0.25)
+
+
+def test_esnr_tracks_mean_snr_on_average():
+    link = make_link()
+    t_bore = 20.0 / 6.7
+    t_edge = t_bore + 9.0 / 6.7
+    esnr_bore = np.mean([link.esnr_db(t_bore + dt) for dt in np.linspace(0, 0.2, 20)])
+    esnr_edge = np.mean([link.esnr_db(t_edge + dt) for dt in np.linspace(0, 0.2, 20)])
+    assert esnr_bore > esnr_edge
+
+
+def test_rssi_fluctuates_around_mean_snr():
+    link = make_link(speed=0.5)  # slow, so mean SNR is ~constant over the window
+    t = 1.0
+    rssi = [link.rssi_db(t + dt) for dt in np.linspace(0, 4.0, 400)]
+    # dB-domain average sits within a few dB of the large-scale mean.
+    assert abs(np.mean(rssi) - link.mean_snr_db(t)) < 6.0
+
+
+def test_capacity_positive_in_cell_zero_far_away():
+    link = make_link()
+    assert link.capacity_mbps(20.0 / 6.7) > 5.0
+    assert link.capacity_mbps(20.0 / 6.7 + 60.0 / 6.7) < 2.0
+
+
+def test_mpdu_success_probability_bounds():
+    from repro.phy.mcs import MCS_TABLE
+
+    link = make_link()
+    p = link.mpdu_success_probability(3.0, MCS_TABLE[0])
+    assert 0.0 <= p <= 1.0
+
+
+def test_measure_csi_reading_fields():
+    link = make_link()
+    reading = link.measure_csi(2.0, ap_id=100, client_id=200)
+    assert reading.ap_id == 100
+    assert reading.client_id == 200
+    assert reading.time == 2.0
+    assert reading.n_subcarriers == 56
+    assert reading.mean_snr_db == pytest.approx(link.mean_snr_db(2.0, uplink=True))
+
+
+def test_rician_k_configurable():
+    calm = make_link(params=RadioParams(rician_k=50.0), seed=5)
+    rough = make_link(params=RadioParams(rician_k=0.0), seed=5)
+    t = 20.0 / 6.7
+    var_calm = np.var([calm.esnr_db(t + dt) for dt in np.linspace(0, 0.3, 60)])
+    var_rough = np.var([rough.esnr_db(t + dt) for dt in np.linspace(0, 0.3, 60)])
+    assert var_calm < var_rough

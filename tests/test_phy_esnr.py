@@ -1,0 +1,112 @@
+"""Unit and property-based tests for Effective SNR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.esnr import (
+    DEFAULT_ESNR_CONSTELLATION,
+    effective_snr_db,
+    esnr_all_constellations,
+    invert_ber,
+    subcarrier_snr_db_from_csi,
+)
+from repro.phy.modulation import BER_FUNCTIONS, Constellation, db_to_linear
+
+
+def test_flat_channel_esnr_equals_snr():
+    """On a flat channel ESNR must equal the per-subcarrier SNR."""
+    snr = np.full(56, 15.0)
+    assert effective_snr_db(snr) == pytest.approx(15.0, abs=0.1)
+
+
+def test_esnr_below_mean_for_selective_channel():
+    """Deep fades drag ESNR below the arithmetic-mean SNR (the whole point)."""
+    snr = np.full(56, 25.0)
+    snr[:14] = -5.0  # a quarter of the band deeply faded
+    esnr = effective_snr_db(snr)
+    assert esnr < float(np.mean(snr)) - 1.0
+    # And far below the linear-average SNR, which an RSSI-style metric
+    # would report.
+    from repro.phy.modulation import db_to_linear, linear_to_db
+
+    rssi_like = float(linear_to_db(np.mean(db_to_linear(snr))))
+    assert esnr < rssi_like - 3.0
+
+
+def test_esnr_at_least_min_subcarrier():
+    snr = np.array([5.0, 10.0, 15.0, 25.0])
+    assert effective_snr_db(snr) >= 5.0 - 0.1
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        effective_snr_db(np.array([]))
+
+
+@pytest.mark.parametrize("constellation", Constellation.ALL)
+def test_invert_ber_roundtrip(constellation):
+    fn = BER_FUNCTIONS[constellation]
+    for snr_db in (0.0, 8.0, 16.0):
+        ber = float(fn(db_to_linear(snr_db)))
+        if ber <= 0.0:
+            continue
+        assert invert_ber(ber, constellation) == pytest.approx(snr_db, abs=0.05)
+
+
+def test_invert_ber_clamps_extremes():
+    assert invert_ber(0.5, Constellation.BPSK) == -15.0
+    assert invert_ber(0.0, Constellation.BPSK) == 55.0
+
+
+def test_esnr_all_constellations_keys():
+    out = esnr_all_constellations(np.full(56, 12.0))
+    assert set(out) == set(Constellation.ALL)
+
+
+def test_subcarrier_snr_from_csi_unit_gain():
+    csi = np.ones(56, dtype=complex)
+    snr = subcarrier_snr_db_from_csi(csi, mean_snr_db=20.0)
+    assert np.allclose(snr, 20.0)
+
+
+def test_subcarrier_snr_floor_applied():
+    csi = np.zeros(4, dtype=complex)
+    snr = subcarrier_snr_db_from_csi(csi, mean_snr_db=20.0, floor_db=-20.0)
+    assert np.all(snr == -20.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    base=st.floats(min_value=-5.0, max_value=35.0),
+    dips=st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=4, max_size=56),
+)
+def test_esnr_never_exceeds_flat_equivalent(base, dips):
+    """Property: fading subcarriers down can only lower ESNR."""
+    n = len(dips)
+    faded = np.full(n, base) - np.asarray(dips)
+    esnr_faded = effective_snr_db(faded)
+    esnr_flat = effective_snr_db(np.full(n, base))
+    assert esnr_faded <= esnr_flat + 0.05
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    snrs=st.lists(
+        st.floats(min_value=-10.0, max_value=40.0), min_size=2, max_size=56
+    ),
+    delta=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_esnr_monotone_in_uniform_improvement(snrs, delta):
+    """Property: raising every subcarrier raises (or keeps) ESNR."""
+    arr = np.asarray(snrs)
+    lo = effective_snr_db(arr)
+    hi = effective_snr_db(arr + delta)
+    assert hi >= lo - 0.05
+
+
+def test_default_constellation_is_qam64():
+    # Discrimination of strong links requires the 64-QAM curve (QPSK BER
+    # underflows numerically above ~17 dB).
+    assert DEFAULT_ESNR_CONSTELLATION == Constellation.QAM64

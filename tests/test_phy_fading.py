@@ -1,0 +1,135 @@
+"""Unit and statistical tests for the fading model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.fading import (
+    DEFAULT_TAP_DELAYS_NS,
+    DEFAULT_TAP_POWERS_DB,
+    RayleighTap,
+    TappedDelayChannel,
+    coherence_time_s,
+    doppler_hz,
+    ht20_subcarrier_freqs,
+)
+
+
+def test_doppler_at_25mph_2_4ghz():
+    # 11.2 m/s at 2.462 GHz -> ~92 Hz
+    fd = doppler_hz(11.2)
+    assert 85 < fd < 100
+
+
+def test_doppler_scales_linearly_with_speed():
+    assert doppler_hz(20.0) == pytest.approx(2 * doppler_hz(10.0))
+
+
+def test_coherence_time_in_paper_regime():
+    # The paper quotes 2-3 ms coherence at 2.4 GHz driving speed; the
+    # 0.423/fd rule puts 25 mph at ~4.6 ms -- same order.
+    tc = coherence_time_s(11.2)
+    assert 2e-3 < tc < 8e-3
+
+
+def test_coherence_time_infinite_when_static():
+    assert coherence_time_s(0.0) == math.inf
+
+
+def test_ht20_subcarrier_count_and_no_dc():
+    freqs = ht20_subcarrier_freqs()
+    assert len(freqs) == 56
+    assert 0.0 not in freqs
+    assert freqs.max() == -freqs.min()
+
+
+class TestRayleighTap:
+    def test_unit_power_statistics(self):
+        rng = np.random.default_rng(0)
+        tap = RayleighTap(rng, doppler_hz=80.0, power=1.0)
+        samples = np.array([tap.gain(t) for t in np.linspace(0, 50, 4000)])
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(1.0, rel=0.15)
+
+    def test_power_scaling(self):
+        rng = np.random.default_rng(1)
+        tap = RayleighTap(rng, doppler_hz=80.0, power=0.25)
+        samples = np.array([tap.gain(t) for t in np.linspace(0, 50, 2000)])
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(0.25, rel=0.2)
+
+    def test_rician_k_reduces_envelope_variance(self):
+        rng = np.random.default_rng(2)
+        rayleigh = RayleighTap(rng, 80.0, k_factor=0.0)
+        rician = RayleighTap(np.random.default_rng(2), 80.0, k_factor=10.0)
+        ts = np.linspace(0, 20, 3000)
+        var_rayleigh = np.var([abs(rayleigh.gain(t)) for t in ts])
+        var_rician = np.var([abs(rician.gain(t)) for t in ts])
+        assert var_rician < var_rayleigh
+
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            RayleighTap(np.random.default_rng(0), 80.0, power=-1.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            RayleighTap(np.random.default_rng(0), 80.0, k_factor=-0.1)
+
+    def test_temporal_correlation_within_coherence_time(self):
+        """Gains a fraction of the coherence time apart stay similar."""
+        rng = np.random.default_rng(3)
+        tap = RayleighTap(rng, doppler_hz=90.0)
+        tc = coherence_time_s(11.2)
+        diffs_close, diffs_far = [], []
+        for t in np.linspace(0, 10, 300):
+            g0 = tap.gain(t)
+            diffs_close.append(abs(tap.gain(t + tc / 20) - g0))
+            diffs_far.append(abs(tap.gain(t + 10 * tc) - g0))
+        assert np.mean(diffs_close) < np.mean(diffs_far)
+
+
+class TestTappedDelayChannel:
+    def _channel(self, seed=0, **kwargs):
+        return TappedDelayChannel(np.random.default_rng(seed), doppler_hz=80.0, **kwargs)
+
+    def test_unit_mean_subcarrier_power(self):
+        ch = self._channel()
+        powers = []
+        for t in np.linspace(0, 30, 500):
+            powers.append(np.mean(np.abs(ch.subcarrier_gains(t)) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.2)
+
+    def test_frequency_selectivity_present(self):
+        """Different subcarriers must fade differently (multi-tap)."""
+        ch = self._channel()
+        gains = np.abs(ch.subcarrier_gains(1.234))
+        assert gains.max() / max(gains.min(), 1e-9) > 1.2
+
+    def test_single_tap_is_flat(self):
+        ch = self._channel(tap_delays_ns=[0.0], tap_powers_db=[0.0])
+        gains = np.abs(ch.subcarrier_gains(0.7))
+        assert gains.max() == pytest.approx(gains.min(), rel=1e-9)
+
+    def test_flat_gain_equals_tap_sum(self):
+        ch = self._channel()
+        t = 0.55
+        assert ch.flat_gain(t) == pytest.approx(complex(np.sum(ch.tap_gains(t))))
+
+    def test_mismatched_tap_lists_rejected(self):
+        with pytest.raises(ValueError):
+            self._channel(tap_delays_ns=[0, 50], tap_powers_db=[0.0])
+
+    def test_n_subcarriers(self):
+        assert self._channel().n_subcarriers == 56
+
+    def test_independent_channels_decorrelated(self):
+        a = self._channel(seed=1)
+        b = self._channel(seed=2)
+        ga = np.array([a.flat_gain(t) for t in np.linspace(0, 5, 400)])
+        gb = np.array([b.flat_gain(t) for t in np.linspace(0, 5, 400)])
+        corr = abs(np.corrcoef(np.abs(ga), np.abs(gb))[0, 1])
+        assert corr < 0.3
+
+    def test_default_profile_matches_module_constants(self):
+        ch = self._channel()
+        assert len(ch.taps) == len(DEFAULT_TAP_DELAYS_NS) == len(DEFAULT_TAP_POWERS_DB)

@@ -1,0 +1,80 @@
+"""Unit tests for the MCS table and delivery model."""
+
+import pytest
+
+from repro.phy.mcs import (
+    MCS_TABLE,
+    best_mcs_for_esnr,
+    expected_throughput_mbps,
+    link_capacity_mbps,
+    pdr,
+)
+
+
+def test_table_has_eight_entries_with_increasing_rates():
+    assert len(MCS_TABLE) == 8
+    rates = [m.phy_rate_mbps for m in MCS_TABLE]
+    assert rates == sorted(rates)
+    assert rates[-1] == pytest.approx(72.2)  # HT20 SGI MCS7
+
+
+def test_thresholds_increase_with_rate():
+    thresholds = [m.pdr_threshold_db for m in MCS_TABLE]
+    assert thresholds == sorted(thresholds)
+
+
+def test_pdr_at_threshold_is_half():
+    mcs = MCS_TABLE[4]
+    assert pdr(mcs.pdr_threshold_db, mcs) == pytest.approx(0.5)
+
+
+def test_pdr_saturates():
+    mcs = MCS_TABLE[0]
+    assert pdr(60.0, mcs) == pytest.approx(1.0)
+    assert pdr(-60.0, mcs) == pytest.approx(0.0)
+
+
+def test_pdr_monotone_in_esnr():
+    mcs = MCS_TABLE[5]
+    values = [pdr(e, mcs) for e in range(0, 40, 2)]
+    assert values == sorted(values)
+
+
+def test_short_frames_more_robust():
+    mcs = MCS_TABLE[3]
+    esnr = mcs.pdr_threshold_db
+    assert pdr(esnr, mcs, n_bytes=64) > pdr(esnr, mcs, n_bytes=1500)
+
+
+def test_frame_size_threshold_shift_bounded():
+    mcs = MCS_TABLE[3]
+    # Even extreme sizes shift the midpoint by at most 2 dB.
+    assert abs(pdr(mcs.pdr_threshold_db + 2.0, mcs, n_bytes=1) - 0.5) > 0.01
+    assert pdr(mcs.pdr_threshold_db - 2.0, mcs, n_bytes=10**6) <= 0.5 + 1e-9
+
+
+def test_best_mcs_low_esnr_falls_back_to_mcs0():
+    assert best_mcs_for_esnr(-10.0).index == 0
+
+
+def test_best_mcs_high_esnr_reaches_mcs7():
+    assert best_mcs_for_esnr(40.0).index == 7
+
+
+def test_best_mcs_monotone_in_esnr():
+    indices = [best_mcs_for_esnr(float(e)).index for e in range(0, 40)]
+    assert indices == sorted(indices)
+
+
+def test_expected_throughput_below_phy_rate():
+    mcs = MCS_TABLE[6]
+    assert expected_throughput_mbps(20.0, mcs) < mcs.phy_rate_mbps
+
+
+def test_link_capacity_nondecreasing_in_esnr():
+    caps = [link_capacity_mbps(float(e)) for e in range(-5, 40, 3)]
+    assert caps == sorted(caps)
+
+
+def test_link_capacity_bounded_by_top_rate():
+    assert link_capacity_mbps(60.0) <= MCS_TABLE[-1].phy_rate_mbps + 1e-9

@@ -1,0 +1,69 @@
+"""Unit tests for BER curves."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modulation import (
+    BER_FUNCTIONS,
+    Constellation,
+    ber_bpsk,
+    ber_qam16,
+    ber_qam64,
+    ber_qpsk,
+    db_to_linear,
+    linear_to_db,
+)
+
+
+def test_db_linear_roundtrip():
+    for db in (-10.0, 0.0, 3.0, 30.0):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+
+def test_linear_to_db_floors_at_zero():
+    assert np.isfinite(linear_to_db(0.0))
+
+
+def test_bpsk_known_value():
+    # BPSK at 0 dB: Q(sqrt(2)) ~ 0.0786
+    assert float(ber_bpsk(1.0)) == pytest.approx(0.0786, abs=0.001)
+
+
+def test_qpsk_equals_bpsk_at_3db_offset():
+    # Per-bit QPSK at SNR x equals BPSK at x/2.
+    assert float(ber_qpsk(2.0)) == pytest.approx(float(ber_bpsk(1.0)), rel=1e-9)
+
+
+@pytest.mark.parametrize("name", Constellation.ALL)
+def test_all_curves_monotone_decreasing(name):
+    fn = BER_FUNCTIONS[name]
+    snrs = db_to_linear(np.linspace(-10, 35, 50))
+    bers = fn(snrs)
+    assert np.all(np.diff(bers) <= 1e-15)
+
+
+@pytest.mark.parametrize("name", Constellation.ALL)
+def test_ber_bounded(name):
+    fn = BER_FUNCTIONS[name]
+    bers = fn(db_to_linear(np.linspace(-20, 50, 40)))
+    assert np.all(bers >= 0.0)
+    assert np.all(bers <= 0.5)
+
+
+def test_higher_order_constellations_worse_at_same_snr():
+    snr = db_to_linear(10.0)
+    assert float(ber_bpsk(snr)) < float(ber_qam16(snr)) < float(ber_qam64(snr))
+
+
+def test_negative_snr_clamped():
+    assert float(ber_bpsk(-1.0)) == float(ber_bpsk(0.0))
+
+
+def test_vectorised_evaluation():
+    out = ber_qam64(db_to_linear(np.array([0.0, 10.0, 20.0])))
+    assert out.shape == (3,)
+
+
+def test_bits_per_symbol_table():
+    assert Constellation.BITS_PER_SYMBOL[Constellation.BPSK] == 1
+    assert Constellation.BITS_PER_SYMBOL[Constellation.QAM64] == 6

@@ -1,0 +1,76 @@
+"""Unit tests for path loss models."""
+
+import math
+
+import pytest
+
+from repro.phy.pathloss import (
+    LogDistancePathLoss,
+    SPEED_OF_LIGHT,
+    free_space_path_loss_db,
+)
+
+
+def test_free_space_matches_friis_at_reference():
+    # At 2.4 GHz and 1 m, FSPL is ~40.0 dB.
+    loss = free_space_path_loss_db(1.0, 2.4e9)
+    assert loss == pytest.approx(40.05, abs=0.1)
+
+
+def test_free_space_20db_per_decade():
+    f = 2.462e9
+    assert free_space_path_loss_db(100.0, f) - free_space_path_loss_db(10.0, f) == pytest.approx(20.0)
+
+
+def test_free_space_clamps_below_one_meter():
+    f = 2.462e9
+    assert free_space_path_loss_db(0.1, f) == free_space_path_loss_db(1.0, f)
+
+
+def test_log_distance_reduces_to_free_space_for_exponent_two():
+    model = LogDistancePathLoss(exponent=2.0)
+    for d in (1.0, 5.0, 50.0):
+        assert model.loss_db(d) == pytest.approx(
+            free_space_path_loss_db(d, model.freq_hz), abs=1e-9
+        )
+
+
+def test_higher_exponent_means_more_loss():
+    lo = LogDistancePathLoss(exponent=2.0)
+    hi = LogDistancePathLoss(exponent=3.5)
+    assert hi.loss_db(20.0) > lo.loss_db(20.0)
+    # They agree at the reference distance.
+    assert hi.loss_db(1.0) == pytest.approx(lo.loss_db(1.0))
+
+
+def test_extra_loss_is_additive():
+    base = LogDistancePathLoss()
+    extra = LogDistancePathLoss(extra_loss_db=14.0)
+    assert extra.loss_db(10.0) - base.loss_db(10.0) == pytest.approx(14.0)
+
+
+def test_loss_monotone_in_distance():
+    model = LogDistancePathLoss(exponent=2.8)
+    losses = [model.loss_db(d) for d in (1, 2, 5, 10, 20, 50)]
+    assert losses == sorted(losses)
+
+
+def test_below_reference_distance_clamped():
+    model = LogDistancePathLoss()
+    assert model.loss_db(0.01) == model.loss_db(model.reference_distance_m)
+
+
+def test_invalid_exponent_rejected():
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(exponent=0.0)
+
+
+def test_invalid_reference_distance_rejected():
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(reference_distance_m=-1.0)
+
+
+def test_wavelength():
+    model = LogDistancePathLoss(freq_hz=2.462e9)
+    assert model.wavelength_m == pytest.approx(SPEED_OF_LIGHT / 2.462e9)
+    assert 0.12 < model.wavelength_m < 0.125  # ~12 cm at 2.4 GHz (the paper)

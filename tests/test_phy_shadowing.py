@@ -1,0 +1,74 @@
+"""Unit tests for correlated log-normal shadowing."""
+
+import numpy as np
+import pytest
+
+from repro.phy.shadowing import ShadowingField
+
+
+def field(seed=0, **kw):
+    return ShadowingField(np.random.default_rng(seed), **kw)
+
+
+def test_deterministic_in_space():
+    f = field()
+    assert f.gain_db(12.3) == f.gain_db(12.3)
+
+
+def test_std_matches_sigma():
+    f = field(sigma_db=4.0, span_m=(-50.0, 500.0))
+    assert f.empirical_std_db() == pytest.approx(4.0, rel=0.3)
+
+
+def test_zero_sigma_is_flat():
+    f = field(sigma_db=0.0)
+    assert f.gain_db(3.0) == 0.0
+
+
+def test_nearby_points_correlated_far_points_not():
+    f = field(sigma_db=4.0, decorrelation_m=5.0, span_m=(-50.0, 500.0))
+    xs = np.arange(0.0, 400.0, 1.0)
+    g = np.array([f.gain_db(x) for x in xs])
+    near = np.corrcoef(g[:-1], g[1:])[0, 1]
+    far = np.corrcoef(g[:-60], g[60:])[0, 1]
+    assert near > 0.7
+    assert abs(far) < 0.4
+
+
+def test_positions_outside_span_clamped():
+    f = field()
+    assert np.isfinite(f.gain_db(-1000.0))
+    assert np.isfinite(f.gain_db(1000.0))
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        field(sigma_db=-1.0)
+    with pytest.raises(ValueError):
+        field(decorrelation_m=0.0)
+    with pytest.raises(ValueError):
+        field(span_m=(10.0, 0.0))
+
+
+def test_link_applies_shadowing():
+    from repro.phy.antenna import ParabolicAntenna
+    from repro.phy.channel import Link, RadioParams
+
+    position = (0.0, -8.0, 10.0)
+    antenna = ParabolicAntenna.aimed_at(position, (0.0, 3.75, 1.5))
+
+    def make(sigma):
+        return Link(
+            ap_position=position,
+            ap_antenna=antenna,
+            client_position_fn=lambda t: (0.0, 2.0, 1.5),
+            speed_mps=0.0,
+            rng=np.random.default_rng(3),
+            params=RadioParams(shadowing_sigma_db=sigma),
+        )
+
+    flat = make(0.0)
+    shadowed = make(6.0)
+    assert flat.shadowing is None
+    assert shadowed.shadowing is not None
+    assert flat.mean_snr_db(0.0) != shadowed.mean_snr_db(0.0)

@@ -1,0 +1,253 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import PeriodicTask, SimulationError, Simulator, time_close
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_single_event_fires_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(3.0, out.append, 3)
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(2.0, out.append, 2)
+    sim.run()
+    assert out == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(1.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_zero_delay_event_runs_after_current():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(0.0, out.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_tiny_negative_delay_clamped_to_zero():
+    sim = Simulator()
+    sim.schedule(-1e-15, lambda: None)  # within epsilon: allowed
+    sim.run()
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_non_callable_rejected():
+    with pytest.raises(TypeError):
+        Simulator().schedule(1.0, "not callable")
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(5.0, out.append, 5)
+    sim.run(until=2.0)
+    assert out == [1]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, out.append, 5)
+    sim.run(until=2.0)
+    sim.run()
+    assert out == [5]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    out = []
+    handle = sim.schedule(1.0, out.append, "x")
+    handle.cancel()
+    sim.run()
+    assert out == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_pending_property():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.pending
+    handle.cancel()
+    assert not handle.pending
+
+
+def test_handle_not_pending_after_firing():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert not handle.pending
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5
+
+
+def test_pending_events_counter():
+    sim = Simulator()
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(4)]
+    handles[0].cancel()
+    assert sim.pending_events == 3
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=4)
+    assert out == [0, 1, 2, 3]
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(2.0, out.append, 2)
+    assert sim.step()
+    assert out == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.clear()
+    sim.run()
+    assert out == []
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert out == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_time_close_helper():
+    assert time_close(1.0, 1.0 + 1e-12)
+    assert not time_close(1.0, 1.001)
+
+
+class TestPeriodicTask:
+    def test_fires_on_interval(self):
+        sim = Simulator()
+        out = []
+        sim.call_every(1.0, lambda: out.append(sim.now))
+        sim.run(until=3.5)
+        assert out == [1.0, 2.0, 3.0]
+
+    def test_stop_prevents_further_firings(self):
+        sim = Simulator()
+        out = []
+        task = sim.call_every(1.0, lambda: out.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert out == [1.0, 2.0]
+        assert task.stopped
+
+    def test_until_bound(self):
+        sim = Simulator()
+        out = []
+        sim.call_every(1.0, lambda: out.append(sim.now), until=2.0)
+        sim.run(until=10.0)
+        assert out == [1.0, 2.0]
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_every(0.0, lambda: None)
+
+    def test_jitter_requires_rng_and_spreads_firings(self):
+        import numpy as np
+
+        sim = Simulator()
+        out = []
+        sim.call_every(
+            1.0, lambda: out.append(sim.now),
+            jitter=0.5, rng=np.random.default_rng(0),
+        )
+        sim.run(until=10.0)
+        assert len(out) >= 5
+        deltas = [b - a for a, b in zip(out, out[1:])]
+        assert all(1.0 <= d <= 1.5 + 1e-9 for d in deltas)
+        assert len(set(round(d, 6) for d in deltas)) > 1  # actually jittered

@@ -1,0 +1,66 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+def test_emit_and_count():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a", x=1)
+    tr.emit(2.0, "a", x=2)
+    tr.emit(3.0, "b")
+    assert tr.count("a") == 2
+    assert tr.count("b") == 1
+    assert tr.count("missing") == 0
+
+
+def test_records_filtered_by_kind():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a")
+    tr.emit(2.0, "b")
+    assert [r.kind for r in tr.records("a")] == ["a"]
+    assert len(tr.records()) == 2
+
+
+def test_keep_kinds_limits_storage_but_not_counters():
+    tr = TraceRecorder(keep_kinds={"keep"})
+    tr.emit(1.0, "keep")
+    tr.emit(1.0, "drop")
+    assert len(tr) == 1
+    assert tr.count("drop") == 1
+
+
+def test_times_and_values_extraction():
+    tr = TraceRecorder()
+    tr.emit(1.0, "x", v=10)
+    tr.emit(2.0, "x", v=20)
+    assert tr.times("x") == [1.0, 2.0]
+    assert tr.values("x", "v") == [10, 20]
+
+
+def test_record_getitem_and_get():
+    rec = TraceRecord(1.0, "k", {"a": 1})
+    assert rec["a"] == 1
+    assert rec.get("missing", 42) == 42
+
+
+def test_clear_resets_everything():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a")
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.count("a") == 0
+
+
+def test_empty_recorder_is_still_truthy_for_none_checks():
+    # Regression: components must not replace an empty shared recorder.
+    tr = TraceRecorder()
+    chosen = tr if tr is not None else TraceRecorder()
+    assert chosen is tr
+
+
+def test_iter_records_filters():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a", n=1)
+    tr.emit(2.0, "b", n=2)
+    tr.emit(3.0, "a", n=3)
+    assert [r["n"] for r in tr.iter_records("a")] == [1, 3]

@@ -1,0 +1,222 @@
+"""TCP tests over a controllable lossy pipe (no radio involved)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.tcp import MSS_BYTES, TcpReceiver, TcpSender
+
+
+class Pipe:
+    """Bidirectional delay pipe with programmable loss."""
+
+    def __init__(self, sim, delay_s=0.01, loss_fn=None, bandwidth_bps=None):
+        self.sim = sim
+        self.delay_s = delay_s
+        self.loss_fn = loss_fn or (lambda p: False)
+        self.bandwidth_bps = bandwidth_bps
+        self._busy_until = 0.0
+        self.sender = None
+        self.receiver = None
+        self.dropped = 0
+
+    def to_receiver(self, packet):
+        self._send(packet, lambda p: self.receiver.on_packet(p, self.sim.now))
+
+    def to_sender(self, packet):
+        self._send(packet, lambda p: self.sender.on_packet(p, self.sim.now))
+
+    def _send(self, packet, deliver):
+        if self.loss_fn(packet):
+            self.dropped += 1
+            return
+        delay = self.delay_s
+        if self.bandwidth_bps:
+            start = max(self.sim.now, self._busy_until)
+            tx_time = packet.size_bytes * 8 / self.bandwidth_bps
+            self._busy_until = start + tx_time
+            delay = self._busy_until - self.sim.now + self.delay_s
+        self.sim.schedule(delay, deliver, packet)
+
+
+def make_flow(loss_fn=None, app_limit=None, delay_s=0.01, bandwidth_bps=None, seed=0):
+    sim = Simulator()
+    pipe = Pipe(sim, delay_s=delay_s, loss_fn=loss_fn, bandwidth_bps=bandwidth_bps)
+    sender = TcpSender(sim, pipe.to_receiver, src=1, dst=2, flow_id=1,
+                       app_limit_bytes=app_limit)
+    receiver = TcpReceiver(sim, pipe.to_sender, src=2, dst=1, flow_id=1)
+    pipe.sender, pipe.receiver = sender, receiver
+
+    def cross(packet):
+        receiver.on_packet(packet, sim.now)
+
+    return sim, sender, receiver, pipe
+
+
+def test_lossless_transfer_completes():
+    sim, sender, receiver, _ = make_flow(app_limit=200 * MSS_BYTES)
+    sender.start()
+    sim.run(until=30.0)
+    assert sender.done
+    assert receiver.rcv_nxt == 200 * MSS_BYTES
+
+
+def test_bytes_delivered_in_order():
+    sim, sender, receiver, _ = make_flow(app_limit=50 * MSS_BYTES)
+    progress = [p for _, p in receiver.progress]
+    sender.start()
+    sim.run(until=30.0)
+    values = [p for _, p in receiver.progress]
+    assert values == sorted(values)
+
+
+def test_slow_start_doubles_window():
+    sim, sender, receiver, _ = make_flow()
+    initial = sender.cwnd
+    sender.start()
+    sim.run(until=0.1)  # a few RTTs at 10 ms
+    assert sender.cwnd > 2 * initial
+
+
+def test_random_loss_recovers_without_stall():
+    rng = np.random.default_rng(1)
+    loss = lambda p: p.payload[0] == "seg" and rng.random() < 0.02
+    sim, sender, receiver, pipe = make_flow(loss_fn=loss, app_limit=400 * MSS_BYTES)
+    sender.start()
+    sim.run(until=120.0)
+    assert sender.done
+    assert pipe.dropped > 0
+    assert sender.retransmissions >= pipe.dropped
+
+
+def test_burst_loss_triggers_sack_recovery_not_timeout():
+    """A 15-segment burst loss (a WGTT switch) must be repaired by SACK
+    fast recovery, not an RTO."""
+    window = {"drop": False, "count": 0}
+
+    def loss(p):
+        if p.payload[0] != "seg":
+            return False
+        if window["drop"] and window["count"] < 15:
+            window["count"] += 1
+            return True
+        return False
+
+    sim, sender, receiver, pipe = make_flow(
+        loss_fn=loss, app_limit=600 * MSS_BYTES, bandwidth_bps=30e6
+    )
+    sim.schedule(0.10, lambda: window.__setitem__("drop", True))
+    sim.schedule(0.15, lambda: window.__setitem__("drop", False))
+    sender.start()
+    sim.run(until=60.0)
+    assert sender.done
+    assert window["count"] > 0
+    assert sender.timeouts == 0
+
+
+def test_total_blackout_causes_rto_backoff():
+    state = {"dead": False}
+    loss = lambda p: state["dead"]
+    sim, sender, receiver, _ = make_flow(loss_fn=loss, bandwidth_bps=20e6)
+    sender.start()
+    sim.schedule(0.5, lambda: state.__setitem__("dead", True))
+    sim.run(until=10.0)
+    assert sender.timeouts >= 3
+    assert sender.rto > 1.0  # exponential backoff kicked in
+    assert sender.cwnd == sender.mss
+
+
+def test_recovery_after_blackout_ends():
+    state = {"dead": False}
+    loss = lambda p: state["dead"]
+    sim, sender, receiver, _ = make_flow(loss_fn=loss, app_limit=300 * MSS_BYTES)
+    sender.start()
+    sim.schedule(0.2, lambda: state.__setitem__("dead", True))
+    sim.schedule(1.5, lambda: state.__setitem__("dead", False))
+    sim.run(until=60.0)
+    assert sender.done
+
+
+def test_rtt_estimation():
+    sim, sender, receiver, _ = make_flow(delay_s=0.025, app_limit=100 * MSS_BYTES)
+    sender.start()
+    sim.run(until=5.0)
+    assert sender.srtt == pytest.approx(0.05, rel=0.5)  # ~2 * one-way
+
+
+def test_rto_has_floor():
+    sim, sender, receiver, _ = make_flow(delay_s=0.001, app_limit=50 * MSS_BYTES)
+    sender.start()
+    sim.run(until=2.0)
+    assert sender.rto >= TcpSender.MIN_RTO_S
+
+
+def test_cwnd_clamped_on_lossless_path():
+    """Without a window clamp an infinite-capacity path would grow cwnd
+    (and the event count) exponentially forever."""
+    sim, sender, receiver, _ = make_flow()
+    sender.start()
+    sim.run(until=1.5)
+    assert sender.cwnd <= TcpSender.MAX_WINDOW_BYTES
+
+
+def test_bandwidth_limited_throughput():
+    sim, sender, receiver, _ = make_flow(
+        app_limit=2_000_000, bandwidth_bps=8e6, delay_s=0.005
+    )
+    sender.start()
+    sim.run(until=60.0)
+    assert sender.done
+    # ~2 s at 8 Mb/s: completion must be bandwidth-bound, not instant.
+    done_at = [t for t, b in receiver.progress if b >= 2_000_000][0]
+    assert 1.8 < done_at < 6.0
+
+
+def test_duplicate_segments_counted_not_delivered_twice():
+    sim, sender, receiver, pipe = make_flow(app_limit=10 * MSS_BYTES)
+    sender.start()
+    sim.run(until=1.0)
+    # Replay the first segment.
+    dup = Packet(size_bytes=MSS_BYTES + 40, src=1, dst=2, flow_id=1, seq=0,
+                 payload=("seg", 0, MSS_BYTES))
+    receiver.on_packet(dup, sim.now)
+    assert receiver.duplicate_segments >= 1
+    assert receiver.rcv_nxt == 10 * MSS_BYTES
+
+
+def test_delayed_ack_reduces_ack_count():
+    sim, sender, receiver, _ = make_flow(app_limit=100 * MSS_BYTES)
+    sender.start()
+    sim.run(until=30.0)
+    assert receiver.acks_sent < receiver.segments_received
+
+
+def test_ack_carries_sack_blocks_for_ooo_data():
+    sim = Simulator()
+    acks = []
+    receiver = TcpReceiver(sim, acks.append, src=2, dst=1, flow_id=1)
+    seg = lambda s, e: Packet(size_bytes=e - s + 40, src=1, dst=2, flow_id=1,
+                              seq=s, payload=("seg", s, e))
+    receiver.on_packet(seg(0, 1448), 0.0)
+    receiver.on_packet(seg(2896, 4344), 0.0)  # hole at 1448
+    last = acks[-1]
+    assert last.payload[1] == 1448
+    assert last.payload[2] == ((2896, 4344),)
+
+
+def test_tcp_done_trace_emitted():
+    from repro.sim.trace import TraceRecorder
+
+    sim = Simulator()
+    trace = TraceRecorder()
+    pipe = Pipe(sim)
+    sender = TcpSender(sim, pipe.to_receiver, 1, 2, 1,
+                       app_limit_bytes=5 * MSS_BYTES, trace=trace)
+    receiver = TcpReceiver(sim, pipe.to_sender, 2, 1, 1)
+    pipe.sender, pipe.receiver = sender, receiver
+    sender.start()
+    sim.run(until=5.0)
+    assert trace.count("tcp_done") == 1

@@ -1,0 +1,91 @@
+"""Unit tests for UDP CBR flows."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.udp import UdpReceiver, UdpSender
+
+
+def make_pair(rate_mbps=10.0):
+    sim = Simulator()
+    receiver = UdpReceiver(sim, flow_id=1)
+    sender = UdpSender(
+        sim, lambda p: receiver.on_packet(p, sim.now),
+        src=1, dst=2, flow_id=1, rate_mbps=rate_mbps,
+    )
+    return sim, sender, receiver
+
+
+def test_rate_is_respected():
+    sim, sender, receiver = make_pair(rate_mbps=10.0)
+    sender.start()
+    sim.run(until=2.0)
+    assert receiver.throughput_mbps(2.0) == pytest.approx(10.0, rel=0.05)
+
+
+def test_sequence_numbers_consecutive():
+    sim, sender, receiver = make_pair()
+    sender.start()
+    sim.run(until=0.1)
+    seqs = [s for _, s in receiver.deliveries]
+    assert seqs == list(range(len(seqs)))
+
+
+def test_duplicates_filtered():
+    sim, sender, receiver = make_pair()
+    p = Packet(size_bytes=1476, src=1, dst=2, flow_id=1, seq=0)
+    receiver.on_packet(p, 0.0)
+    receiver.on_packet(p, 0.1)
+    assert receiver.packets_received == 1
+    assert receiver.duplicates == 1
+
+
+def test_other_flow_ignored():
+    sim, sender, receiver = make_pair()
+    other = Packet(size_bytes=100, src=1, dst=2, flow_id=99, seq=0)
+    receiver.on_packet(other, 0.0)
+    assert receiver.packets_received == 0
+
+
+def test_loss_rate():
+    _sim, _sender, receiver = make_pair()
+    for seq in (0, 2, 4):
+        receiver.on_packet(Packet(size_bytes=1476, src=1, dst=2, flow_id=1, seq=seq), 0.0)
+    assert receiver.loss_rate(6) == pytest.approx(0.5)
+
+
+def test_stop_halts_emission():
+    sim, sender, receiver = make_pair()
+    sender.start()
+    sim.schedule(0.5, sender.stop)
+    sim.run(until=2.0)
+    assert receiver.throughput_mbps(2.0) < 6.0
+
+
+def test_until_bound():
+    sim, sender, receiver = make_pair()
+    sender.start(until=0.5)
+    sim.run(until=2.0)
+    assert all(t <= 0.6 for t, _ in receiver.deliveries)
+
+
+def test_double_start_rejected():
+    _sim, sender, _receiver = make_pair()
+    sender.start()
+    with pytest.raises(RuntimeError):
+        sender.start()
+
+
+def test_invalid_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        UdpSender(sim, lambda p: None, 1, 2, 1, rate_mbps=0.0)
+
+
+def test_on_payload_callback():
+    sim = Simulator()
+    seen = []
+    receiver = UdpReceiver(sim, flow_id=1, on_payload=lambda p, t: seen.append(p.seq))
+    receiver.on_packet(Packet(size_bytes=100, src=1, dst=2, flow_id=1, seq=7), 0.0)
+    assert seen == [7]
