@@ -15,6 +15,7 @@ from .runners import (
     attach_tcp_downlink,
     attach_udp_downlink,
     attach_udp_uplink,
+    run_drive_summary,
     run_single_drive,
     static_trajectory,
     tcp_deliveries,
@@ -36,6 +37,7 @@ __all__ = [
     "attach_tcp_downlink",
     "attach_udp_downlink",
     "attach_udp_uplink",
+    "run_drive_summary",
     "run_single_drive",
     "static_trajectory",
     "tcp_deliveries",

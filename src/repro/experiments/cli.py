@@ -24,6 +24,7 @@ from typing import List
 import numpy as np
 
 from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
+from ..orchestration import ResultCache, SweepSpec, run_sweep
 from .builder import ExperimentConfig, build_network
 from .metrics import mean_throughput_mbps, throughput_timeseries
 from .runners import run_single_drive
@@ -66,21 +67,60 @@ def cmd_drive(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """A Fig.-13-style grid through the sweep orchestration layer.
+
+    Jobs fan out over ``--jobs`` worker processes; results persist in the
+    on-disk cache, so a repeated sweep skips simulation entirely.
+    """
     speeds = [float(s) for s in args.speeds.split(",")]
-    print(f"{'speed':>8} {'wgtt':>8} {'baseline':>9} {'gain':>6}")
-    for speed in speeds:
-        row = {}
-        for mode in ("wgtt", "baseline"):
-            result = run_single_drive(
-                mode=mode, speed_mph=speed, traffic=args.traffic,
-                udp_rate_mbps=args.udp_rate, seed=args.seed,
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    seeds = ([int(s) for s in args.seeds.split(",")]
+             if args.seeds else [args.seed])
+    spec = SweepSpec(
+        modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
+        seeds=seeds, udp_rate_mbps=args.udp_rate,
+        n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
+    )
+    cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
+    result = run_sweep(
+        spec, jobs=args.jobs, cache=cache,
+        timeout_s=args.timeout, max_retries=args.retries,
+        verbose=args.verbose,
+    )
+
+    # Mean coverage throughput per (mode, speed), averaged over seeds.
+    cells = {}
+    for job, summary in zip(result.jobs, result.summaries):
+        if summary is not None:
+            cells.setdefault((job.mode, job.speed_mph), []).append(
+                summary.coverage_throughput_mbps
             )
-            t0, t1 = _coverage_window(speed, result.net.road)
-            row[mode] = mean_throughput_mbps(result.deliveries, t0, t1)
-        gain = row["wgtt"] / max(row["baseline"], 1e-9)
-        print(f"{speed:6.0f}mph {row['wgtt']:8.2f} {row['baseline']:9.2f} "
-              f"{gain:5.1f}x")
-    return 0
+    header = f"{'speed':>8} " + " ".join(f"{m:>9}" for m in modes)
+    show_gain = "wgtt" in modes and "baseline" in modes
+    if show_gain:
+        header += f" {'gain':>6}"
+    print(header)
+    for speed in speeds:
+        row = {
+            mode: float(np.mean(cells[(mode, speed)]))
+            for mode in modes if (mode, speed) in cells
+        }
+        line = f"{speed:6.0f}mph " + " ".join(
+            f"{row[m]:9.2f}" if m in row else f"{'-':>9}" for m in modes
+        )
+        if show_gain and "wgtt" in row and "baseline" in row:
+            line += f" {row['wgtt'] / max(row['baseline'], 1e-9):5.1f}x"
+        print(line)
+
+    stats = result.stats
+    print(f"jobs: {stats.one_line()}")
+    if cache is not None:
+        print(f"cache: {cache.root} "
+              f"({stats.cached}/{stats.total} hits, {cache.writes} writes)")
+    for failure in result.failures:
+        print(f"FAILED {failure.job.key()} after {failure.attempts} attempts: "
+              f"{failure.error}")
+    return 0 if result.ok else 1
 
 
 def cmd_channel(args: argparse.Namespace) -> int:
@@ -118,11 +158,33 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--timeseries", action="store_true")
     drive.set_defaults(fn=cmd_drive)
 
-    sweep = sub.add_parser("sweep", help="WGTT vs baseline across speeds")
+    sweep = sub.add_parser(
+        "sweep", help="WGTT vs baseline across speeds (parallel, cached)"
+    )
     sweep.add_argument("--speeds", default="5,15,25,35")
+    sweep.add_argument("--modes", default="wgtt,baseline")
     sweep.add_argument("--traffic", choices=("tcp", "udp"), default="udp")
     sweep.add_argument("--udp-rate", type=float, default=50.0)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--seeds", default=None,
+                       help="comma list; averaged per cell (overrides --seed)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache root (default .repro_cache, "
+                            "or $REPRO_CACHE_DIR)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always simulate; do not read or write the cache")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per failed job")
+    sweep.add_argument("--n-aps", type=int, default=None,
+                       help="override the AP count (default: 8-AP testbed)")
+    sweep.add_argument("--ap-spacing", type=float, default=None,
+                       help="override AP spacing in metres")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="per-job progress lines on stderr")
     sweep.set_defaults(fn=cmd_sweep)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")

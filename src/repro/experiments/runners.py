@@ -32,6 +32,7 @@ __all__ = [
     "tcp_deliveries",
     "DriveResult",
     "run_single_drive",
+    "run_drive_summary",
     "static_trajectory",
 ]
 
@@ -146,6 +147,19 @@ class DriveResult:
     def trace(self):
         return self.net.trace
 
+    def summarize(self, **meta) -> "DriveSummary":  # noqa: F821
+        """Extract a picklable :class:`~repro.orchestration.summary.DriveSummary`.
+
+        The summary carries everything the figures consume (throughput,
+        switch timeline, trace counters) and none of the live simulation
+        objects, so it can cross process boundaries and persist in the
+        sweep result cache.  ``meta`` passes through job identity fields
+        such as ``mode`` / ``seed`` / ``wall_clock_s``.
+        """
+        from ..orchestration.summary import DriveSummary
+
+        return DriveSummary.from_drive_result(self, **meta)
+
 
 def run_single_drive(
     mode: str = "wgtt",
@@ -218,4 +232,32 @@ def run_single_drive(
         timeline=timeline,
         sender=sender,
         receiver=receiver,
+    )
+
+
+def run_drive_summary(
+    mode: str = "wgtt",
+    speed_mph: float = 15.0,
+    traffic: str = "tcp",
+    udp_rate_mbps: float = 20.0,
+    seed: int = 0,
+    **kwargs,
+) -> "DriveSummary":  # noqa: F821
+    """Run one drive and return only its picklable summary.
+
+    This is the worker-side path of the sweep orchestration: the live
+    ``Network`` is built, driven, summarised, and discarded inside one
+    process, so nothing unpicklable escapes.
+    """
+    from time import perf_counter
+
+    t0 = perf_counter()
+    result = run_single_drive(
+        mode=mode, speed_mph=speed_mph, traffic=traffic,
+        udp_rate_mbps=udp_rate_mbps, seed=seed, **kwargs,
+    )
+    return result.summarize(
+        mode=mode, speed_mph=speed_mph, traffic=traffic,
+        udp_rate_mbps=udp_rate_mbps, seed=seed,
+        wall_clock_s=perf_counter() - t0,
     )

@@ -1,0 +1,45 @@
+"""Parallel sweep orchestration.
+
+Every figure and table in the paper is a sweep of *independent* drives
+(mode x speed x traffic x seed).  This package turns that shape into a
+first-class subsystem:
+
+* :mod:`repro.orchestration.spec` -- a declarative :class:`SweepSpec`
+  that expands a parameter grid into hashable :class:`JobSpec` jobs with
+  deterministic per-job seed derivation.
+* :mod:`repro.orchestration.summary` -- :class:`DriveSummary`, the
+  picklable, JSON-serialisable extract of a drive (throughput series,
+  switch timeline, trace counters) that crosses process and cache
+  boundaries instead of the live ``Network``.
+* :mod:`repro.orchestration.cache` -- :class:`ResultCache`, a persistent
+  on-disk store under ``.repro_cache/`` keyed by a canonical hash of the
+  job config plus a code-version salt.
+* :mod:`repro.orchestration.runner` -- :class:`SweepRunner`, a
+  ``ProcessPoolExecutor`` fan-out with per-job timeouts, crash
+  isolation, and bounded retries; failed jobs become a report, not a
+  sweep abort.
+* :mod:`repro.orchestration.progress` -- :class:`ProgressReporter` and
+  :class:`SweepStats` (jobs done/failed/cached, wall clock, events/sec).
+"""
+
+from .cache import CACHE_SCHEMA_VERSION, ResultCache, default_code_salt
+from .progress import ProgressReporter, SweepStats
+from .runner import JobFailure, SweepResult, SweepRunner, run_sweep
+from .spec import JobSpec, SweepSpec, derive_seed
+from .summary import DriveSummary
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "default_code_salt",
+    "ProgressReporter",
+    "SweepStats",
+    "JobFailure",
+    "SweepResult",
+    "SweepRunner",
+    "run_sweep",
+    "JobSpec",
+    "SweepSpec",
+    "derive_seed",
+    "DriveSummary",
+]

@@ -1,0 +1,300 @@
+"""Process-pool sweep execution with fault tolerance.
+
+:class:`SweepRunner` fans the jobs of a :class:`~repro.orchestration.spec.SweepSpec`
+out to worker processes.  Each worker runs one drive and ships back a
+:class:`~repro.orchestration.summary.DriveSummary` -- never the live
+``Network`` -- so results pickle cheaply and identically regardless of
+worker count.
+
+Fault model
+-----------
+* An exception inside a job is caught *in the worker* and returned as a
+  failure record (crash isolation: one bad job cannot take down the
+  sweep).
+* A hard worker death (``os._exit``, OOM-kill, segfault) surfaces as
+  ``BrokenProcessPool``; the runner writes off the poisoned round,
+  rebuilds the pool, and resubmits the affected jobs.
+* Every job gets ``max_retries`` extra attempts; a job that exhausts
+  them becomes a :class:`JobFailure` in the report -- the sweep still
+  completes and returns every other result.
+* ``timeout_s`` arms a per-job wall-clock alarm inside the worker
+  (POSIX ``SIGALRM``; silently unavailable elsewhere), so a hung drive
+  is a retryable failure, not a stuck sweep.
+
+Determinism: each job builds its own ``Network`` from its own seed, so
+results are bit-identical whether the sweep runs serially (``jobs=1``,
+in-process) or on any number of workers, in any completion order.
+
+Test hooks (used by the fault-tolerance tests only): setting
+``REPRO_SWEEP_TEST_CRASH`` to ``exception`` or ``exit`` makes workers
+crash on jobs whose key contains ``REPRO_SWEEP_TEST_MATCH``; with
+``REPRO_SWEEP_TEST_CRASH_ONCE_DIR`` set, each job crashes only on its
+first attempt (a marker file is dropped in that directory).
+``REPRO_SWEEP_TEST_SLEEP_S`` delays matching jobs, for timeout tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import sleep
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .progress import ProgressReporter, SweepStats
+from .spec import JobSpec, SweepSpec
+from .summary import DriveSummary
+
+__all__ = ["JobFailure", "SweepResult", "SweepRunner", "run_sweep",
+           "execute_job_inline"]
+
+
+# ------------------------------------------------------------------ worker
+def _apply_test_hooks(job: JobSpec) -> None:
+    """Crash/delay injection for the fault-tolerance tests (no-op otherwise)."""
+    crash_mode = os.environ.get("REPRO_SWEEP_TEST_CRASH")
+    sleep_s = os.environ.get("REPRO_SWEEP_TEST_SLEEP_S")
+    if not crash_mode and not sleep_s:
+        return
+    match = os.environ.get("REPRO_SWEEP_TEST_MATCH", "")
+    if match not in job.key():
+        return
+    if sleep_s:
+        sleep(float(sleep_s))
+    if not crash_mode:
+        return
+    once_dir = os.environ.get("REPRO_SWEEP_TEST_CRASH_ONCE_DIR")
+    if once_dir:
+        marker = os.path.join(
+            once_dir, "crashed_" + job.key().replace(":", "_").replace("=", "-")
+        )
+        if os.path.exists(marker):
+            return  # already crashed once; let the retry succeed
+        with open(marker, "w") as fh:
+            fh.write(job.key())
+    if crash_mode == "exit":
+        os._exit(13)  # hard death: parent sees BrokenProcessPool
+    raise RuntimeError(f"injected test crash for {job.key()}")
+
+
+def execute_job_inline(job: JobSpec) -> DriveSummary:
+    """Run one job in this process and extract its summary."""
+    from ..experiments.runners import run_drive_summary
+
+    summary = run_drive_summary(**job.run_kwargs())
+    summary.job_key = job.key()
+    return summary
+
+
+def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one job, catching everything.
+
+    Returns ``{"ok": True, "summary": ...}`` or a failure dict with the
+    formatted traceback -- exceptions never propagate out of the worker,
+    so one bad job cannot poison the pool (only a hard process death can,
+    and the parent handles that separately).
+    """
+    job = JobSpec.from_dict(payload["job"])
+    timeout_s = payload.get("timeout_s")
+    alarm_armed = False
+    try:
+        if timeout_s and hasattr(signal, "SIGALRM"):
+            def _on_alarm(_sig, _frame):
+                raise TimeoutError(f"job exceeded {timeout_s}s wall clock")
+            signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+            alarm_armed = True
+        _apply_test_hooks(job)
+        summary = execute_job_inline(job)
+        return {"ok": True, "summary": summary.to_dict()}
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    finally:
+        if alarm_armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def _payload(job: JobSpec, timeout_s: Optional[float]) -> Dict[str, Any]:
+    return {"job": job.canonical(), "timeout_s": timeout_s}
+
+
+# ------------------------------------------------------------------ results
+@dataclass
+class JobFailure:
+    """One job that exhausted its retry budget."""
+
+    job: JobSpec
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in the spec's expansion order."""
+
+    jobs: List[JobSpec]
+    #: Aligned with ``jobs``; None where the job ultimately failed.
+    summaries: List[Optional[DriveSummary]]
+    failures: List[JobFailure] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def by_key(self) -> Dict[str, DriveSummary]:
+        return {
+            job.key(): summary
+            for job, summary in zip(self.jobs, self.summaries)
+            if summary is not None
+        }
+
+
+# ------------------------------------------------------------------ runner
+class SweepRunner:
+    """Executes a sweep over a process pool with caching and retries.
+
+    ``jobs=1`` runs in-process (no pool, no pickling); any higher count
+    fans out over a ``ProcessPoolExecutor``.  Results are identical
+    either way.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        reporter: Optional[ProgressReporter] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.reporter = reporter or ProgressReporter(verbose=False)
+
+    # ---------------------------------------------------------------- run
+    def run(self, sweep: Union[SweepSpec, Iterable[JobSpec]]) -> SweepResult:
+        jobs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+        reporter = self.reporter
+        reporter.begin(len(jobs))
+
+        # Duplicate jobs (identical grid points) simulate once.
+        unique: List[JobSpec] = list(dict.fromkeys(jobs))
+        summaries: Dict[JobSpec, DriveSummary] = {}
+        failures: List[JobFailure] = []
+
+        pending: List[JobSpec] = []
+        for job in unique:
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                summaries[job] = cached
+                reporter.job_done(job.key(), 0, 0.0, cached=True)
+            else:
+                pending.append(job)
+
+        attempts: Dict[JobSpec, int] = {job: 0 for job in pending}
+        last_error: Dict[JobSpec, Tuple[str, str]] = {}
+        while pending:
+            round_results = self._run_round(pending)
+            retry: List[JobSpec] = []
+            for job, outcome in round_results:
+                attempts[job] += 1
+                if outcome.get("ok"):
+                    summary = DriveSummary.from_dict(outcome["summary"])
+                    summaries[job] = summary
+                    if self.cache is not None:
+                        self.cache.put(job, summary)
+                    reporter.job_done(
+                        job.key(), summary.events_fired,
+                        summary.wall_clock_s, cached=False,
+                    )
+                    continue
+                error = outcome.get("error", "unknown error")
+                last_error[job] = (error, outcome.get("traceback", ""))
+                if attempts[job] <= self.max_retries:
+                    reporter.job_retry(job.key(), attempts[job], error)
+                    retry.append(job)
+                else:
+                    reporter.job_failed(job.key(), attempts[job], error)
+                    failures.append(JobFailure(
+                        job=job, attempts=attempts[job],
+                        error=error, traceback=last_error[job][1],
+                    ))
+            pending = retry
+
+        stats = reporter.end()
+        return SweepResult(
+            jobs=jobs,
+            summaries=[summaries.get(job) for job in jobs],
+            failures=failures,
+            stats=stats,
+        )
+
+    # -------------------------------------------------------------- rounds
+    def _run_round(
+        self, batch: Sequence[JobSpec]
+    ) -> List[Tuple[JobSpec, Dict[str, Any]]]:
+        """One attempt per job in ``batch``; never raises for a job error."""
+        if self.jobs == 1:
+            return [(job, _execute_job(_payload(job, self.timeout_s)))
+                    for job in batch]
+        out: List[Tuple[JobSpec, Dict[str, Any]]] = []
+        workers = min(self.jobs, len(batch))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_job, _payload(job, self.timeout_s)): job
+                for job in batch
+            }
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    out.append((job, future.result()))
+                except BrokenProcessPool:
+                    # A worker died hard; every in-flight/queued future in
+                    # this pool is poisoned.  Record the attempt and let
+                    # the retry loop resubmit on a fresh pool.
+                    out.append((job, {
+                        "ok": False,
+                        "error": "worker process died (BrokenProcessPool)",
+                        "traceback": "",
+                    }))
+                except Exception as exc:  # pragma: no cover - defensive
+                    out.append((job, {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    }))
+        return out
+
+
+def run_sweep(
+    sweep: Union[SweepSpec, Iterable[JobSpec]],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    verbose: bool = False,
+) -> SweepResult:
+    """One-call sweep execution (the CLI and benchmarks go through this)."""
+    runner = SweepRunner(
+        jobs=jobs, cache=cache, timeout_s=timeout_s,
+        max_retries=max_retries,
+        reporter=ProgressReporter(verbose=verbose),
+    )
+    return runner.run(sweep)

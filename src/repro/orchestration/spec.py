@@ -1,0 +1,192 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a parameter grid (mode x speed x traffic x
+seed, plus scalar config overrides); :meth:`SweepSpec.expand` turns it
+into a deterministic, ordered list of hashable :class:`JobSpec` jobs.
+Jobs are plain values -- they pickle across process boundaries, hash into
+cache keys, and round-trip through JSON.
+
+Seed policy
+-----------
+Either list explicit ``seeds`` (each grid point is run once per seed), or
+set ``replicates=N`` and every job derives its seed from ``base_seed``
+and its own grid coordinates via :func:`derive_seed`.  Derived seeds are
+stable across runs, execution order, and worker count, so a sweep is
+reproducible bit-for-bit no matter how it is scheduled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from itertools import product
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["JobSpec", "SweepSpec", "derive_seed"]
+
+#: Scalar types allowed in job overrides (anything else cannot be hashed
+#: into a stable cache key or serialised to JSON losslessly).
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def derive_seed(base_seed: int, *components: Any) -> int:
+    """Derive a deterministic 31-bit seed from ``base_seed`` and labels.
+
+    The derivation is a SHA-256 over the canonical JSON encoding, so it is
+    stable across Python versions, processes, and platforms (unlike
+    ``hash()``, which is salted per interpreter).
+    """
+    payload = json.dumps([int(base_seed), *components], sort_keys=True,
+                         default=str).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent drive: everything a worker needs, nothing live.
+
+    ``overrides`` carries extra ``run_single_drive`` keyword arguments as
+    a sorted tuple of ``(name, value)`` pairs -- tuple form keeps the
+    dataclass hashable.  Only scalars are allowed; rich objects (roads,
+    configs) cannot cross the cache boundary canonically.
+    """
+
+    mode: str = "wgtt"
+    speed_mph: float = 15.0
+    traffic: str = "tcp"
+    udp_rate_mbps: float = 50.0
+    seed: int = 0
+    duration_s: Optional[float] = None
+    warmup_s: float = 0.5
+    n_aps: Optional[int] = None
+    ap_spacing_m: Optional[float] = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("wgtt", "baseline"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.traffic not in ("tcp", "udp"):
+            raise ValueError(f"unknown traffic {self.traffic!r}")
+        normalized = tuple(sorted((str(k), v) for k, v in self.overrides))
+        for name, value in normalized:
+            if not isinstance(value, _SCALAR_TYPES):
+                raise TypeError(
+                    f"override {name!r} must be a scalar, got {type(value).__name__}"
+                )
+        object.__setattr__(self, "overrides", normalized)
+
+    # ---------------------------------------------------------- identity
+    def canonical(self) -> Dict[str, Any]:
+        """A JSON-safe dict with a stable field order (the cache identity)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "overrides":
+                value = [[k, v] for k, v in value]
+            out[f.name] = value
+        return out
+
+    def key(self) -> str:
+        """Compact human-readable identity, e.g. ``wgtt:25:udp:r50:s7``."""
+        parts = [self.mode, f"{self.speed_mph:g}", self.traffic,
+                 f"r{self.udp_rate_mbps:g}", f"s{self.seed}"]
+        if self.n_aps is not None:
+            parts.append(f"aps{self.n_aps}")
+        if self.ap_spacing_m is not None:
+            parts.append(f"sp{self.ap_spacing_m:g}")
+        if self.duration_s is not None:
+            parts.append(f"d{self.duration_s:g}")
+        parts.extend(f"{k}={v}" for k, v in self.overrides)
+        return ":".join(parts)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        kwargs = dict(data)
+        kwargs["overrides"] = tuple(
+            (k, v) for k, v in kwargs.get("overrides", ())
+        )
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------ running
+    def run_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :func:`repro.experiments.run_single_drive`."""
+        kwargs: Dict[str, Any] = dict(
+            mode=self.mode,
+            speed_mph=self.speed_mph,
+            traffic=self.traffic,
+            udp_rate_mbps=self.udp_rate_mbps,
+            seed=self.seed,
+            warmup_s=self.warmup_s,
+        )
+        if self.duration_s is not None:
+            kwargs["duration_s"] = self.duration_s
+        if self.n_aps is not None or self.ap_spacing_m is not None:
+            from ..mobility.trajectory import (
+                DEFAULT_AP_SPACING_M,
+                DEFAULT_N_APS,
+                RoadLayout,
+            )
+            kwargs["road"] = RoadLayout.uniform(
+                self.n_aps if self.n_aps is not None else DEFAULT_N_APS,
+                self.ap_spacing_m if self.ap_spacing_m is not None
+                else DEFAULT_AP_SPACING_M,
+            )
+        kwargs.update(dict(self.overrides))
+        return kwargs
+
+
+@dataclass
+class SweepSpec:
+    """A parameter grid of independent drives.
+
+    Axes are the paper's evaluation dimensions; the cross product of all
+    axes (times seeds/replicates) is the job list.  Expansion order is
+    deterministic: axes iterate in the order given here, seeds innermost.
+    """
+
+    modes: Sequence[str] = ("wgtt", "baseline")
+    speeds_mph: Sequence[float] = (5.0, 15.0, 25.0, 35.0)
+    traffics: Sequence[str] = ("udp",)
+    seeds: Optional[Sequence[int]] = (0,)
+    replicates: int = 1
+    base_seed: int = 0
+    udp_rate_mbps: float = 50.0
+    duration_s: Optional[float] = None
+    warmup_s: float = 0.5
+    n_aps: Optional[int] = None
+    ap_spacing_m: Optional[float] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def expand(self) -> List[JobSpec]:
+        """The full, ordered job list for this sweep."""
+        jobs: List[JobSpec] = []
+        override_items = tuple(sorted(self.overrides.items()))
+        for mode, speed, traffic in product(self.modes, self.speeds_mph,
+                                            self.traffics):
+            if self.seeds is not None:
+                seeds = list(self.seeds)
+            else:
+                seeds = [
+                    derive_seed(self.base_seed, mode, speed, traffic, rep)
+                    for rep in range(self.replicates)
+                ]
+            for seed in seeds:
+                jobs.append(JobSpec(
+                    mode=mode,
+                    speed_mph=float(speed),
+                    traffic=traffic,
+                    udp_rate_mbps=self.udp_rate_mbps,
+                    seed=int(seed),
+                    duration_s=self.duration_s,
+                    warmup_s=self.warmup_s,
+                    n_aps=self.n_aps,
+                    ap_spacing_m=self.ap_spacing_m,
+                    overrides=override_items,
+                ))
+        return jobs
+
+    def __len__(self) -> int:
+        per_point = len(self.seeds) if self.seeds is not None else self.replicates
+        return len(self.modes) * len(self.speeds_mph) * len(self.traffics) * per_point

@@ -1,0 +1,138 @@
+"""Picklable drive summaries.
+
+A live :class:`~repro.experiments.builder.Network` holds the simulator,
+the medium, every AP and link -- none of which should cross a process
+boundary or land in a persistent cache.  :class:`DriveSummary` is the
+extract that does: scalar results, the binned throughput series, the
+serving-AP timeline, and the trace counters.  Workers build it in-process
+and ship only the summary back to the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.metrics import mean_throughput_mbps, throughput_timeseries
+from ..mobility.trajectory import mph_to_mps
+
+__all__ = ["DriveSummary", "COVERAGE_LEAD_IN_M"]
+
+#: The client enters useful coverage ~15 m before the first AP (the
+#: measurement convention shared by the CLI and the benchmark harness).
+COVERAGE_LEAD_IN_M = 15.0
+
+#: Bin width of the stored throughput series (seconds).
+SUMMARY_BIN_S = 0.25
+
+
+@dataclass
+class DriveSummary:
+    """Everything a figure needs from one drive, in plain values."""
+
+    job_key: str
+    mode: str
+    speed_mph: float
+    traffic: str
+    udp_rate_mbps: float
+    seed: int
+    duration_s: float
+    measure_t0: float
+    measure_t1: float
+    #: Mean goodput over the measurement window (= DriveResult.throughput_mbps).
+    throughput_mbps: float
+    #: Mean goodput while the client is inside AP coverage -- the number
+    #: the Fig. 13 style comparisons report.  Falls back to the
+    #: measurement window for static clients.
+    coverage_throughput_mbps: float
+    coverage_t0: float
+    coverage_t1: float
+    #: Binned goodput series over the coverage window (centres, Mbit/s).
+    bin_s: float = SUMMARY_BIN_S
+    bin_centres: List[float] = field(default_factory=list)
+    bin_mbps: List[float] = field(default_factory=list)
+    #: Serving-AP timeline as (time, ap_id-or-None) switch events.
+    switch_events: List[Tuple[float, Optional[int]]] = field(default_factory=list)
+    switch_count: int = 0
+    #: TraceRecorder counters (every kind seen, recorded or not).
+    trace_counters: Dict[str, int] = field(default_factory=dict)
+    events_fired: int = 0
+    wall_clock_s: float = 0.0
+
+    # ------------------------------------------------------------- build
+    @classmethod
+    def from_drive_result(
+        cls,
+        result: "DriveResult",  # noqa: F821 - imported lazily to avoid a cycle
+        job_key: str = "",
+        mode: str = "",
+        speed_mph: float = 0.0,
+        traffic: str = "",
+        udp_rate_mbps: float = 0.0,
+        seed: int = 0,
+        wall_clock_s: float = 0.0,
+    ) -> "DriveSummary":
+        """Extract the summary from a completed drive."""
+        road = result.net.road
+        if speed_mph > 0:
+            v = mph_to_mps(speed_mph)
+            cov_t0 = COVERAGE_LEAD_IN_M / v
+            cov_t1 = (road.span_m + COVERAGE_LEAD_IN_M) / v
+        else:
+            cov_t0, cov_t1 = result.measure_t0, result.measure_t1
+        cov_t1 = min(cov_t1, result.duration_s)
+        if cov_t1 <= cov_t0:
+            cov_t0, cov_t1 = result.measure_t0, result.measure_t1
+        centres, mbps = throughput_timeseries(
+            result.deliveries, cov_t0, cov_t1, bin_s=SUMMARY_BIN_S
+        )
+        timeline = result.timeline
+        switch_events = list(zip(timeline._times, timeline._aps))
+        return cls(
+            job_key=job_key,
+            mode=mode,
+            speed_mph=speed_mph,
+            traffic=traffic,
+            udp_rate_mbps=udp_rate_mbps,
+            seed=seed,
+            duration_s=result.duration_s,
+            measure_t0=result.measure_t0,
+            measure_t1=result.measure_t1,
+            throughput_mbps=result.throughput_mbps,
+            coverage_throughput_mbps=mean_throughput_mbps(
+                result.deliveries, cov_t0, cov_t1
+            ),
+            coverage_t0=cov_t0,
+            coverage_t1=cov_t1,
+            bin_s=SUMMARY_BIN_S,
+            bin_centres=[float(t) for t in centres],
+            bin_mbps=[float(v) for v in mbps],
+            switch_events=switch_events,
+            switch_count=timeline.switch_count,
+            trace_counters=dict(result.trace.counters),
+            events_fired=result.net.sim.events_fired,
+            wall_clock_s=wall_clock_s,
+        )
+
+    # ----------------------------------------------------------- queries
+    @property
+    def timeline(self) -> "ServingTimeline":  # noqa: F821
+        """Rebuild a :class:`ServingTimeline` from the stored switch events."""
+        from ..experiments.metrics import ServingTimeline
+
+        return ServingTimeline(
+            [(t, ap) for t, ap in self.switch_events]
+        )
+
+    # ------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DriveSummary":
+        data = dict(data)
+        data["switch_events"] = [
+            (float(t), None if ap is None else int(ap))
+            for t, ap in data.get("switch_events", [])
+        ]
+        return cls(**data)

@@ -27,11 +27,19 @@ from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["EventHandle", "PeriodicTask", "Simulator", "SimulationError", "time_close"]
 
-#: Tolerance used when comparing simulation timestamps.
-TIME_EPSILON = 1e-12
+#: The engine's single timestamp tolerance, used both for comparing
+#: timestamps (:func:`time_close`) and for the scheduling-in-the-past
+#: guard.  1e-9 s (one nanosecond) sits three orders of magnitude below
+#: the shortest physical interval in the simulation (a 4 us OFDM symbol)
+#: yet comfortably above accumulated float64 rounding error at realistic
+#: simulation times (ulp(100 s) ~ 1.4e-14 s), so genuinely distinct
+#: instants never compare equal and floating-point noise never compares
+#: distinct.  Historically ``time_close`` defaulted to 1e-9 while the
+#: scheduling guard used 1e-12; they are now one constant.
+TIME_EPSILON = 1e-9
 
 
-def time_close(a: float, b: float, eps: float = 1e-9) -> bool:
+def time_close(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
     """Return True when two simulation timestamps are effectively equal."""
     return abs(a - b) <= eps
 

@@ -29,8 +29,38 @@ def test_drive_command_runs(capsys):
     assert "throughput" in out
 
 
-def test_sweep_command_runs(capsys):
-    assert main(["sweep", "--speeds", "15", "--traffic", "udp",
-                 "--seed", "1"]) == 0
+SWEEP_SMALL = ["sweep", "--speeds", "35", "--traffic", "udp",
+               "--udp-rate", "5", "--seed", "1", "--n-aps", "3"]
+
+
+def test_sweep_command_runs(capsys, tmp_path):
+    assert main(SWEEP_SMALL + ["--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "wgtt" in out
+    assert "baseline" in out
+    assert "jobs:" in out
+
+
+def test_sweep_parallel_matches_serial_and_hits_cache(capsys, tmp_path):
+    cache = ["--cache-dir", str(tmp_path)]
+    assert main(SWEEP_SMALL + cache + ["--jobs", "2"]) == 0
+    first = capsys.readouterr().out
+    assert "2 run, 0 cached" in first
+
+    # Same grid again: served entirely from the cache, same numbers.
+    assert main(SWEEP_SMALL + cache + ["--jobs", "2"]) == 0
+    second = capsys.readouterr().out
+    assert "0 run, 2 cached" in second
+    assert first.splitlines()[1] == second.splitlines()[1]  # the 35mph row
+
+    # Serial, no cache: numerically identical results.
+    assert main(SWEEP_SMALL + ["--no-cache", "--jobs", "1"]) == 0
+    third = capsys.readouterr().out
+    assert first.splitlines()[1] == third.splitlines()[1]
+
+
+def test_sweep_defaults():
+    args = build_parser().parse_args(["sweep"])
+    assert args.jobs == 1
+    assert args.retries == 2
+    assert not args.no_cache

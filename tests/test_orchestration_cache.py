@@ -1,0 +1,91 @@
+"""Unit tests for the persistent result cache (no simulations involved)."""
+
+import json
+
+from repro.orchestration import DriveSummary, JobSpec, ResultCache
+from repro.orchestration.cache import default_code_salt
+
+
+def _summary(job: JobSpec, throughput: float = 12.5) -> DriveSummary:
+    return DriveSummary(
+        job_key=job.key(), mode=job.mode, speed_mph=job.speed_mph,
+        traffic=job.traffic, udp_rate_mbps=job.udp_rate_mbps, seed=job.seed,
+        duration_s=5.0, measure_t0=0.55, measure_t1=5.0,
+        throughput_mbps=throughput, coverage_throughput_mbps=throughput,
+        coverage_t0=1.0, coverage_t1=4.0,
+        bin_centres=[1.125, 1.375], bin_mbps=[throughput, throughput],
+        switch_events=[(1.0, 3), (2.0, None), (2.5, 4)],
+        switch_count=3, trace_counters={"ap_switch": 3},
+        events_fired=1000, wall_clock_s=0.1,
+    )
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    job = JobSpec(mode="wgtt", speed_mph=25.0, traffic="udp", seed=7)
+    assert cache.get(job) is None
+    cache.put(job, _summary(job))
+    got = cache.get(job)
+    assert got is not None
+    assert got.coverage_throughput_mbps == 12.5
+    assert got.switch_events == [(1.0, 3), (2.0, None), (2.5, 4)]
+    assert got.timeline.ap_at(1.5) == 3
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+
+def test_distinct_jobs_do_not_collide(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    a = JobSpec(seed=1)
+    b = JobSpec(seed=2)
+    cache.put(a, _summary(a, 10.0))
+    cache.put(b, _summary(b, 20.0))
+    assert cache.get(a).throughput_mbps == 10.0
+    assert cache.get(b).throughput_mbps == 20.0
+
+
+def test_code_version_salt_invalidates(tmp_path):
+    job = JobSpec(seed=3)
+    old = ResultCache(root=tmp_path, salt="repro-0.9-schema1")
+    old.put(job, _summary(job))
+    new = ResultCache(root=tmp_path)  # current default_code_salt()
+    assert default_code_salt() != "repro-0.9-schema1"
+    assert new.get(job) is None  # a release invalidated the entry
+
+
+def test_corrupt_entry_is_a_recoverable_miss(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    job = JobSpec(seed=4)
+    cache.put(job, _summary(job))
+    path = cache.path_for(job)
+    path.write_text("{not json")
+    assert cache.get(job) is None
+    assert not path.exists()  # corrupt entry removed so put() can heal it
+    cache.put(job, _summary(job))
+    assert cache.get(job) is not None
+
+
+def test_entry_records_canonical_job_for_inspection(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    job = JobSpec(mode="baseline", speed_mph=35.0, traffic="udp", seed=5)
+    cache.put(job, _summary(job))
+    with open(cache.path_for(job)) as fh:
+        record = json.load(fh)
+    assert record["job"]["mode"] == "baseline"
+    assert record["salt"] == cache.salt
+
+
+def test_disabled_cache_is_a_no_op():
+    cache = ResultCache(root=None)
+    job = JobSpec()
+    assert not cache.enabled
+    cache.put(job, _summary(job))  # dropped silently
+    assert cache.get(job) is None
+
+
+def test_from_env_honours_disable_and_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+    assert not ResultCache.from_env().enabled
+    monkeypatch.delenv("REPRO_CACHE_DISABLE")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    cache = ResultCache.from_env()
+    assert cache.root == tmp_path / "alt"

@@ -1,0 +1,156 @@
+"""Integration tests for the process-pool sweep runner.
+
+Drives use a 3-AP road at 35 mph with a light UDP load so each job is a
+fraction of a second; the properties under test (determinism across
+worker counts, cache hits, crash isolation, retries, timeouts) do not
+depend on scale.
+"""
+
+import pytest
+
+from repro.orchestration import (
+    JobSpec,
+    ProgressReporter,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
+
+SMALL = dict(
+    modes=("baseline",), speeds_mph=(35.0,), traffics=("udp",),
+    udp_rate_mbps=5.0, n_aps=3,
+)
+
+
+def small_spec(seeds=(1, 2)) -> SweepSpec:
+    return SweepSpec(seeds=seeds, **SMALL)
+
+
+def fingerprint(summary):
+    return (
+        summary.throughput_mbps,
+        summary.coverage_throughput_mbps,
+        summary.switch_count,
+        summary.events_fired,
+        tuple(summary.bin_mbps),
+    )
+
+
+def test_parallel_results_identical_to_serial():
+    serial = run_sweep(small_spec(), jobs=1)
+    parallel = run_sweep(small_spec(), jobs=2)
+    assert serial.ok and parallel.ok
+    assert [j.key() for j in serial.jobs] == [j.key() for j in parallel.jobs]
+    for a, b in zip(serial.summaries, parallel.summaries):
+        assert fingerprint(a) == fingerprint(b)
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    first = run_sweep(small_spec(), jobs=2, cache=cache)
+    assert first.stats.completed == 2 and first.stats.cached == 0
+    second = run_sweep(small_spec(), jobs=2, cache=ResultCache(root=tmp_path))
+    assert second.stats.cached == 2 and second.stats.completed == 0
+    assert second.stats.cache_hit_rate == 1.0
+    assert second.stats.events_fired == 0  # no simulation happened
+    for a, b in zip(first.summaries, second.summaries):
+        assert fingerprint(a) == fingerprint(b)
+
+
+def test_duplicate_jobs_simulate_once():
+    job = small_spec(seeds=(1,)).expand()[0]
+    result = run_sweep([job, job], jobs=1)
+    assert result.stats.total == 2
+    assert result.stats.completed == 1  # deduplicated before execution
+    assert fingerprint(result.summaries[0]) == fingerprint(result.summaries[1])
+
+
+def test_worker_exception_is_retried_and_succeeds(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exception")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_ONCE_DIR", str(tmp_path))
+    result = run_sweep(small_spec(), jobs=2, max_retries=2)
+    assert result.ok
+    assert result.stats.retries >= 1
+    assert all(s is not None for s in result.summaries)
+
+
+def test_hard_worker_death_does_not_abort_the_sweep(tmp_path, monkeypatch):
+    # os._exit in the worker breaks the whole pool; the runner must
+    # rebuild it and finish every job.
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exit")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_ONCE_DIR", str(tmp_path))
+    result = run_sweep(small_spec(), jobs=2, max_retries=2)
+    assert result.ok
+    assert result.stats.retries >= 1
+    assert all(s is not None for s in result.summaries)
+
+
+def test_exhausted_retries_reported_not_raised(monkeypatch):
+    # No CRASH_ONCE_DIR: the job fails on every attempt.
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exception")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    result = run_sweep(small_spec(), jobs=2, max_retries=1)
+    assert not result.ok
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert failure.attempts == 2  # first try + one retry
+    assert "injected test crash" in failure.error
+    # The healthy job still completed, aligned with its grid position.
+    by_seed = {j.seed: s for j, s in zip(result.jobs, result.summaries)}
+    assert by_seed[1] is None
+    assert by_seed[2] is not None
+    assert result.stats.failed == 1 and result.stats.completed == 1
+
+
+def test_per_job_timeout_is_a_retryable_failure(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_TEST_SLEEP_S", "5.0")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    result = run_sweep(small_spec(seeds=(1,)), jobs=1,
+                       timeout_s=0.4, max_retries=0)
+    assert len(result.failures) == 1
+    assert "0.4" in result.failures[0].error
+
+
+def test_runner_validates_arguments():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=0)
+    with pytest.raises(ValueError):
+        SweepRunner(max_retries=-1)
+
+
+def test_progress_reporter_counts_and_narrates(tmp_path, capsys):
+    import io
+
+    stream = io.StringIO()
+    cache = ResultCache(root=tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache,
+                         reporter=ProgressReporter(verbose=True, stream=stream))
+    spec = small_spec(seeds=(1,))
+    result = runner.run(spec)
+    stats = result.stats
+    assert stats.total == 1 and stats.completed == 1
+    assert stats.events_fired > 0
+    assert stats.events_per_sec > 0
+    text = stream.getvalue()
+    assert "sweep: 1 jobs" in text
+    assert "baseline:35:udp:r5:s1:aps3" in text
+
+
+def test_summaries_expose_figure_grade_data():
+    result = run_sweep(small_spec(seeds=(1,)), jobs=1)
+    summary = result.summaries[0]
+    assert summary.coverage_throughput_mbps > 0
+    assert summary.bin_centres and len(summary.bin_centres) == len(summary.bin_mbps)
+    assert summary.switch_count == len(summary.switch_events)
+    assert summary.trace_counters.get("ap_switch", 0) >= summary.switch_count - 1
+    assert summary.timeline.ap_at(summary.coverage_t0 + 0.1) is not None
+
+
+def test_jobspec_round_trip_preserves_identity_under_pool():
+    # What the parent hashes must be exactly what the worker rebuilds.
+    job = JobSpec(mode="baseline", speed_mph=35.0, traffic="udp",
+                  udp_rate_mbps=5.0, seed=1, n_aps=3)
+    assert JobSpec.from_dict(job.canonical()) == job

@@ -1,0 +1,96 @@
+"""Unit tests for sweep specs, job expansion, and seed derivation."""
+
+import pytest
+
+from repro.orchestration import JobSpec, SweepSpec, derive_seed
+
+
+def test_grid_expansion_count_and_order():
+    spec = SweepSpec(
+        modes=("wgtt", "baseline"),
+        speeds_mph=(5.0, 15.0),
+        traffics=("udp",),
+        seeds=(7, 8),
+    )
+    jobs = spec.expand()
+    assert len(jobs) == len(spec) == 2 * 2 * 1 * 2
+    # Deterministic order: modes outermost, seeds innermost.
+    assert [(j.mode, j.speed_mph, j.seed) for j in jobs[:4]] == [
+        ("wgtt", 5.0, 7), ("wgtt", 5.0, 8),
+        ("wgtt", 15.0, 7), ("wgtt", 15.0, 8),
+    ]
+    assert jobs == spec.expand()  # expansion is reproducible
+
+
+def test_jobs_are_hashable_and_equal_by_value():
+    a = JobSpec(mode="wgtt", speed_mph=15.0, traffic="udp", seed=3)
+    b = JobSpec(mode="wgtt", speed_mph=15.0, traffic="udp", seed=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_job_roundtrips_through_dict():
+    job = JobSpec(mode="baseline", speed_mph=25.0, traffic="tcp", seed=9,
+                  n_aps=3, overrides=(("server_latency_s", 2e-3),))
+    assert JobSpec.from_dict(job.canonical()) == job
+
+
+def test_job_overrides_are_normalized_and_scalar_only():
+    a = JobSpec(overrides=(("b", 1), ("a", 2)))
+    b = JobSpec(overrides=(("a", 2), ("b", 1)))
+    assert a == b  # order-insensitive identity
+    with pytest.raises(TypeError):
+        JobSpec(overrides=(("road", object()),))
+
+
+def test_job_validates_mode_and_traffic():
+    with pytest.raises(ValueError):
+        JobSpec(mode="wat")
+    with pytest.raises(ValueError):
+        JobSpec(traffic="icmp")
+
+
+def test_job_key_is_readable_and_distinct():
+    a = JobSpec(mode="wgtt", speed_mph=25.0, traffic="udp",
+                udp_rate_mbps=50.0, seed=7)
+    assert a.key() == "wgtt:25:udp:r50:s7"
+    b = JobSpec(mode="wgtt", speed_mph=25.0, traffic="udp",
+                udp_rate_mbps=50.0, seed=8)
+    assert a.key() != b.key()
+
+
+def test_run_kwargs_builds_road_from_n_aps():
+    job = JobSpec(n_aps=3, ap_spacing_m=10.0)
+    kwargs = job.run_kwargs()
+    assert kwargs["road"].n_aps == 3
+    assert kwargs["road"].ap_x[1] == 10.0
+    assert "road" not in JobSpec().run_kwargs()  # default testbed road
+
+
+def test_derive_seed_is_deterministic_and_spreads():
+    s1 = derive_seed(0, "wgtt", 15.0, "udp", 0)
+    s2 = derive_seed(0, "wgtt", 15.0, "udp", 0)
+    assert s1 == s2
+    distinct = {
+        derive_seed(0, mode, speed, "udp", rep)
+        for mode in ("wgtt", "baseline")
+        for speed in (5.0, 15.0)
+        for rep in range(4)
+    }
+    assert len(distinct) == 16
+    assert all(0 <= s < 2**31 for s in distinct)
+
+
+def test_replicates_derive_seeds_independent_of_execution_order():
+    spec = SweepSpec(modes=("wgtt", "baseline"), speeds_mph=(15.0,),
+                     traffics=("udp",), seeds=None, replicates=3, base_seed=42)
+    jobs = spec.expand()
+    assert len(jobs) == 6
+    # Seeds depend only on (base_seed, grid point, replicate index) --
+    # never on position in the job list -- so any scheduling is safe.
+    again = spec.expand()
+    assert [j.seed for j in jobs] == [j.seed for j in again]
+    wgtt_seeds = {j.seed for j in jobs if j.mode == "wgtt"}
+    base_seeds = {j.seed for j in jobs if j.mode == "baseline"}
+    assert wgtt_seeds.isdisjoint(base_seeds)

@@ -208,6 +208,99 @@ def test_time_close_helper():
     assert not time_close(1.0, 1.001)
 
 
+def test_time_close_default_is_module_epsilon():
+    from repro.sim.engine import TIME_EPSILON
+
+    # The default tolerance is the engine's single TIME_EPSILON constant:
+    # differences above it are distinct instants, at/below it equal.
+    assert time_close(1.0, 1.0 + 0.5 * TIME_EPSILON)
+    assert not time_close(1.0, 1.0 + 10 * TIME_EPSILON)
+    # A microsecond apart is a real ordering difference, not noise.
+    assert not time_close(1.0, 1.0 + 1e-6)
+
+
+# ----------------------------------------------------- event-loop behaviour
+def test_cancel_from_earlier_event_suppresses_later_same_time_event():
+    sim = Simulator()
+    out = []
+    victim = sim.schedule(1.0, out.append, "victim")
+    sim.schedule(1.0, victim.cancel)  # fires first (FIFO), cancels mid-run
+    # Order of scheduling matters: victim was scheduled first, so it is
+    # popped first.  Cancel an event scheduled *after* the canceller too.
+    late = sim.schedule(1.0, out.append, "late")
+    sim.schedule(0.5, late.cancel)
+    sim.run()
+    assert out == ["victim"]
+
+
+def test_cancel_after_fire_is_a_safe_no_op():
+    sim = Simulator()
+    out = []
+    handle = sim.schedule(1.0, out.append, "x")
+    sim.run()
+    assert out == ["x"]
+    handle.cancel()  # already fired: must not raise or corrupt the heap
+    assert not handle.pending
+    sim.schedule(2.0, out.append, "y")
+    sim.run()
+    assert out == ["x", "y"]
+
+
+def test_fifo_ordering_survives_interleaved_cancellations():
+    sim = Simulator()
+    out = []
+    handles = [sim.schedule(1.0, out.append, i) for i in range(6)]
+    handles[1].cancel()
+    handles[4].cancel()
+    sim.run()
+    assert out == [0, 2, 3, 5]  # scheduling order, minus the cancelled
+
+
+def test_fifo_ordering_across_run_until_resume():
+    sim = Simulator()
+    out = []
+    for i in range(3):
+        sim.schedule(2.0, out.append, i)
+    sim.run(until=1.0)
+    assert out == []
+    sim.run()
+    assert out == [0, 1, 2]
+
+
+def test_schedule_in_past_from_callback_raises():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.schedule_at(sim.now - 1.0, lambda: None)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(2.0, bad)
+    sim.run()
+    assert len(errors) == 1
+    assert "cannot schedule" in str(errors[0])
+
+
+def test_schedule_negative_delay_message_names_the_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="in the past"):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_step_skips_cancelled_and_fires_next_live_event():
+    sim = Simulator()
+    out = []
+    first = sim.schedule(1.0, out.append, "dead")
+    sim.schedule(2.0, out.append, "live")
+    first.cancel()
+    assert sim.step()  # skips the cancelled head, fires "live"
+    assert out == ["live"]
+    assert sim.now == 2.0
+    assert not sim.step()
+
+
 class TestPeriodicTask:
     def test_fires_on_interval(self):
         sim = Simulator()
