@@ -73,16 +73,20 @@ def _job_for(mode: str, speed_mph: float, traffic: str, seed: int,
     rich objects (roads, configs, trajectories) stay session-local.
     """
     overrides = {k: v for k, v in rest.items()
-                 if k not in ("duration_s", "warmup_s")}
+                 if k not in ("duration_s", "warmup_s", "fault_scenario")}
     if any(not isinstance(v, (int, float, str, bool, type(None)))
            for v in overrides.values()):
         return None
+    fault = rest.get("fault_scenario")
+    if fault is not None and not isinstance(fault, str):
+        return None  # only canonical JSON maps onto the persistent cache
     try:
         return JobSpec(
             mode=mode, speed_mph=float(speed_mph), traffic=traffic,
             udp_rate_mbps=float(udp_rate), seed=int(seed),
             duration_s=rest.get("duration_s"),
             warmup_s=rest.get("warmup_s", 0.5),
+            fault_scenario=fault,
             overrides=tuple(sorted(overrides.items())),
         )
     except (TypeError, ValueError):

@@ -9,15 +9,15 @@ lives in :mod:`repro.core.baseline`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..mac.frames import Ampdu, Beacon, BlockAck, MgmtFrame, Mpdu
+from ..mac.frames import Beacon, BlockAck, MgmtFrame, Mpdu
 from ..mac.medium import Medium
 from ..mac.radio import Radio
-from ..mac.rate_control import EsnrRateControl, MinstrelLite
+from ..mac.rate_control import EsnrRateControl
 from ..net.ethernet import Backhaul
 from ..net.packet import Packet
 from ..net.queues import DropTailQueue
@@ -168,6 +168,9 @@ class BaseAp:
         self.pipelines: Dict[int, ClientPipeline] = {}
         #: client -> node id of the AP currently serving it.
         self.serving_map: Dict[int, Optional[int]] = {}
+        #: False while crashed by fault injection; gates every data/control
+        #: path so a dead AP is inert without unscheduling its timers.
+        self.alive = True
         backhaul.register(node_id, self.on_backhaul)
         if self.params.beacon_interval_s:
             # Jittered start so the eight APs' beacons interleave.
@@ -227,14 +230,45 @@ class BaseAp:
                 break
             pipe.hw.enqueue(packet)
 
+    # ----------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Crash the AP: radio off, every data/control path inert.
+
+        Queue contents are retained only so that :meth:`restore` can model
+        a cold reboot explicitly; nothing is transmitted or received while
+        down.  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.radio.power_off()
+
+    def restore(self) -> None:
+        """Reboot a crashed AP with cold state (empty queues, no clients).
+
+        Association/serving state rebuilds through the normal control
+        plane (AssocSync replication, start(c, k) handoffs).  Idempotent.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        for client in list(self.pipelines):
+            self.radio.reset_peer(client)
+        self.pipelines.clear()
+        self.serving_map.clear()
+        self.radio.power_on()
+
     # --------------------------------------------------------------- beacons
     def _beacon_tick(self) -> None:
-        self.radio.send_beacon(Beacon(src=self.node_id, bssid=self.radio.bssid))
+        if self.alive:
+            self.radio.send_beacon(Beacon(src=self.node_id, bssid=self.radio.bssid))
         self.sim.schedule(self.params.beacon_interval_s, self._beacon_tick)
 
     # ------------------------------------------------------------ data plane
     def on_uplink_data(self, packet: Packet, client: int, t: float) -> None:
         """A client data packet was decoded: tunnel it to the controller."""
+        if not self.alive:
+            return
         packet.encapsulate(self.node_id, self.controller_id)
         self.backhaul.send(self.node_id, self.controller_id, packet)
 
@@ -252,6 +286,8 @@ class BaseAp:
 
     # --------------------------------------------------------------- control
     def on_backhaul(self, packet: Packet, src: int) -> None:
+        if not self.alive:
+            return  # crashed: packets already in flight die at the NIC
         if packet.protocol == "ctrl":
             self.handle_ctrl(packet.payload, src)
         else:
@@ -264,6 +300,8 @@ class BaseAp:
         raise NotImplementedError
 
     def send_ctrl(self, dst: int, msg) -> None:
+        if not self.alive:
+            return  # e.g. a delayed stop->start forward after a crash
         self.backhaul.send(
             self.node_id, dst, ctrl_packet(self.node_id, dst, msg, self.sim.now)
         )
@@ -276,6 +314,11 @@ class WgttAp(BaseAp):
         kwargs.setdefault("monitor", True)
         super().__init__(*args, **kwargs)
         self._last_csi_report: Dict[int, float] = {}
+
+    def restore(self) -> None:
+        if not self.alive:
+            self._last_csi_report.clear()
+        super().restore()
 
     # ------------------------------------------------------------ downlink
     def handle_downlink_data(self, packet: Packet, src: int) -> None:

@@ -10,7 +10,7 @@ hysteresis bounds the switching rate (evaluated in Fig. 22).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 __all__ = ["EsnrWindow", "ApSelector", "median"]
 
@@ -105,6 +105,15 @@ class ApSelector:
             window = EsnrWindow(self.window_s)
             self._windows[ap_id] = window
         window.add(t, esnr_db)
+
+    def drop_ap(self, ap_id: int) -> bool:
+        """Forget an AP's window entirely.
+
+        Used by the controller's health tracking to evict a crashed AP
+        from the candidate set immediately, instead of waiting out the
+        window's staleness cap.  Returns True when a window was held.
+        """
+        return self._windows.pop(ap_id, None) is not None
 
     def _score(self, values: List[float]) -> float:
         if self.metric == "median":

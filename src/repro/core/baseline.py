@@ -20,9 +20,9 @@ from typing import Dict, Optional
 
 from ..mac.frames import MgmtFrame
 from ..net.packet import Packet
-from ..sim.engine import EventHandle, Simulator
+from ..sim.engine import EventHandle
 from .ap import ApParams, BaseAp
-from .client import MobileClient, RoamingPolicy
+from .client import RoamingPolicy
 from .controller import UplinkHandler
 from .dedup import Deduplicator
 from .messages import AssocNotify, FtRequest, ctrl_packet
@@ -55,6 +55,13 @@ class BaselineAp(BaseAp):
         super().__init__(*args, **kwargs)
         #: Clients currently associated with *this* AP.
         self.associated: set = set()
+
+    def restore(self) -> None:
+        if not self.alive:
+            # A rebooted AP holds no association state; clients must
+            # reassociate over the air.
+            self.associated.clear()
+        super().restore()
 
     # ------------------------------------------------------------- downlink
     def handle_downlink_data(self, packet: Packet, src: int) -> None:

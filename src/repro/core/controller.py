@@ -15,14 +15,14 @@ One machine on the Ethernet backhaul that
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..net.ethernet import Backhaul
 from ..net.packet import Packet
-from ..sim.engine import EventHandle, Simulator
+from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
 from .ap_selection import ApSelector
 from .cyclic_queue import INDEX_MODULO
@@ -57,6 +57,12 @@ class ControllerParams:
     min_readings: int = 1
     selection_metric: str = "median"
     max_switch_attempts: int = 10
+    #: AP health tracking (fault hardening, strictly opt-in): an AP whose
+    #: last control-plane message (CSI report, switch ack, ...) is older
+    #: than this is evicted from candidate sets, and the switch protocol
+    #: routes around it.  ``None`` (the default) disables health tracking
+    #: entirely, leaving the paper's behaviour untouched.
+    ap_liveness_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -95,12 +101,44 @@ class WgttController:
         self.dedup = Deduplicator()
         self._uplink_handlers: Dict[int, UplinkHandler] = {}
         self._uplink_default: Optional[UplinkHandler] = None
+        #: ap_id -> time of its last control-plane message (health signal).
+        self.ap_last_seen: Dict[int, float] = {}
+        #: APs currently evicted by the liveness timeout.
+        self._evicted: set = set()
         backhaul.register(node_id, self.on_backhaul)
 
     # ----------------------------------------------------------------- setup
     def add_ap(self, ap_id: int) -> None:
         if ap_id not in self.ap_ids:
             self.ap_ids.append(ap_id)
+            self.ap_last_seen[ap_id] = self.sim.now
+
+    # -------------------------------------------------------------- health
+    def ap_is_live(self, ap_id: int, now: float) -> bool:
+        """False only when health tracking is on and the AP has gone quiet."""
+        timeout = self.params.ap_liveness_timeout_s
+        if timeout is None:
+            return True
+        last = self.ap_last_seen.get(ap_id)
+        if last is None:
+            return True  # unknown APs are out of scope for health tracking
+        return now - last <= timeout
+
+    def _sweep_dead_aps(self, now: float) -> None:
+        """Evict newly-dead APs from every client's candidate windows."""
+        timeout = self.params.ap_liveness_timeout_s
+        if timeout is None:
+            return
+        for ap_id, last in self.ap_last_seen.items():
+            if now - last > timeout:
+                if ap_id not in self._evicted:
+                    self._evicted.add(ap_id)
+                    self.trace.emit(now, "ap_evicted", ap=ap_id)
+                    for state in self.clients.values():
+                        state.selector.drop_ap(ap_id)
+            elif ap_id in self._evicted:
+                self._evicted.discard(ap_id)
+                self.trace.emit(now, "ap_readmitted", ap=ap_id)
 
     def add_client(self, client_id: int) -> ClientState:
         state = self.clients.get(client_id)
@@ -132,13 +170,19 @@ class WgttController:
         client = packet.dst
         state = self.add_client(client)
         now = self.sim.now
+        self._sweep_dead_aps(now)
         targets = state.selector.in_range_aps(now)
+        if self._evicted:
+            targets = [ap for ap in targets if ap not in self._evicted]
         # The serving AP (and the AP a pending switch is moving to) must
         # receive every packet even through a momentary CSI gap, or its
-        # ring develops holes.
-        if state.serving_ap is not None and state.serving_ap not in targets:
+        # ring develops holes.  Evicted APs are excluded: their rings are
+        # unreachable anyway, and feeding them would only mask the outage.
+        if (state.serving_ap is not None and state.serving_ap not in targets
+                and state.serving_ap not in self._evicted):
             targets.append(state.serving_ap)
-        if state.switching is not None and state.switching[1] not in targets:
+        if (state.switching is not None and state.switching[1] not in targets
+                and state.switching[1] not in self._evicted):
             targets.append(state.switching[1])
         if not targets:
             state.no_coverage_drops += 1
@@ -171,6 +215,8 @@ class WgttController:
 
     # --------------------------------------------------------- control plane
     def _handle_ctrl(self, msg, src: int) -> None:
+        if src in self.ap_last_seen:
+            self.ap_last_seen[src] = self.sim.now
         if isinstance(msg, CsiReport):
             self._on_csi(msg, src)
         elif isinstance(msg, SwitchAck):
@@ -189,12 +235,16 @@ class WgttController:
     def _evaluate(self, client: int, state: ClientState, t: float) -> None:
         if state.switching is not None:
             return  # one outstanding switch per client (footnote 2)
-        best = state.selector.best_ap(t)
+        self._sweep_dead_aps(t)
+        best = self._best_live_ap(state, t)
         if state.serving_ap is None:
             # Bootstrap: with nobody serving, any reading is better than
             # none, so elect on whatever the window holds.
             if best is None:
-                candidates = state.selector.in_range_aps(t)
+                candidates = [
+                    ap for ap in state.selector.in_range_aps(t)
+                    if ap not in self._evicted
+                ]
                 if not candidates:
                     return
                 best = candidates[0]
@@ -205,6 +255,18 @@ class WgttController:
         if t - state.last_switch_time < self.params.hysteresis_s:
             return
         self._begin_switch(client, state, old_ap=state.serving_ap, new_ap=best, t=t)
+
+    def _best_live_ap(self, state: ClientState, t: float) -> Optional[int]:
+        """Max-score candidate, skipping health-evicted APs."""
+        if not self._evicted:
+            return state.selector.best_ap(t)
+        candidates = {
+            ap: score for ap, score in state.selector.candidates(t).items()
+            if ap not in self._evicted
+        }
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]
 
     def _begin_switch(
         self,
@@ -241,17 +303,37 @@ class WgttController:
         old_ap, new_ap, current_attempt, _timer = state.switching
         if current_attempt != attempt:
             return
+        t = self.sim.now
+        self._sweep_dead_aps(t)
+        if new_ap in self._evicted:
+            # The switch target died while the handshake was in flight:
+            # retransmitting at it is futile.  Abort and elect a live AP.
+            state.switching = None
+            self.trace.emit(t, "switch_target_dead", client=client, ap=new_ap)
+            self._evaluate(client, state, t)
+            return
         if attempt + 1 >= self.params.max_switch_attempts:
             # Give up: fall back to no serving AP; the next CSI report
             # will elect afresh.
             state.switching = None
             state.serving_ap = None
-            self.trace.emit(self.sim.now, "switch_failed", client=client)
+            self.trace.emit(t, "switch_failed", client=client)
             return
-        self.trace.emit(self.sim.now, "switch_retransmit", client=client,
+        if old_ap is not None and old_ap in self._evicted:
+            # The old AP cannot process stop(c) any more, so its queue
+            # head index is unrecoverable: bypass the handshake and start
+            # the new AP directly at the next fresh index.
+            self.trace.emit(t, "switch_reroute", client=client,
+                            old=old_ap, new=new_ap)
+            self._begin_switch(
+                client, state, old_ap=None, new_ap=new_ap, t=t,
+                attempt=attempt + 1,
+            )
+            return
+        self.trace.emit(t, "switch_retransmit", client=client,
                         attempt=attempt + 1)
         self._begin_switch(
-            client, state, old_ap=old_ap, new_ap=new_ap, t=self.sim.now,
+            client, state, old_ap=old_ap, new_ap=new_ap, t=t,
             attempt=attempt + 1,
         )
 

@@ -26,6 +26,7 @@ from ..core.baseline import (
 )
 from ..core.client import ClientParams, MobileClient
 from ..core.controller import ControllerParams, WgttController
+from ..faults import FaultInjector, FaultScenario, coerce_scenario
 from ..mac.medium import Medium, MediumParams
 from ..mobility.trajectory import RoadLayout, Trajectory
 from ..net.addressing import NodeIdAllocator
@@ -62,10 +63,19 @@ class ExperimentConfig:
     #: clients stay tuned to channel 11, so APs on other channels cannot
     #: serve or overhear them.
     channel_plan: Optional[List[int]] = None
+    #: Fault-injection scenario (a :class:`repro.faults.FaultScenario`, a
+    #: dict, or its JSON string).  Strictly opt-in: None leaves every
+    #: fault code path unreachable and runs bit-identical to before the
+    #: fault subsystem existed.
+    fault_scenario: Optional[FaultScenario] = None
+    #: Cap on stored trace records (ring buffer; None = unbounded).
+    trace_max_records: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("wgtt", "baseline"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.fault_scenario is not None:
+            self.fault_scenario = coerce_scenario(self.fault_scenario)
 
 
 class Network:
@@ -75,7 +85,8 @@ class Network:
         self.config = config
         self.sim = Simulator()
         self.rng = np.random.default_rng(config.seed)
-        self.trace = TraceRecorder(keep_kinds=config.trace_kinds)
+        self.trace = TraceRecorder(keep_kinds=config.trace_kinds,
+                                   max_records=config.trace_max_records)
         self.medium = Medium(
             self.sim, np.random.default_rng([config.seed, 1]),
             trace=self.trace, params=config.medium_params,
@@ -94,10 +105,21 @@ class Network:
         self._client_seq = 0
 
         if config.mode == "wgtt":
+            controller_params = config.controller_params
+            if (config.fault_scenario is not None
+                    and controller_params.ap_liveness_timeout_s is None
+                    and config.fault_scenario.liveness_timeout_s is not None):
+                # Under fault injection the controller needs health
+                # tracking to recover; an explicit ControllerParams
+                # setting still wins.
+                controller_params = replace(
+                    controller_params,
+                    ap_liveness_timeout_s=config.fault_scenario.liveness_timeout_s,
+                )
             self.controller = WgttController(
                 self.sim, self.backhaul, self.controller_id,
                 np.random.default_rng([config.seed, 3]),
-                trace=self.trace, params=config.controller_params,
+                trace=self.trace, params=controller_params,
             )
             ap_params = config.ap_params or ApParams()
         else:
@@ -125,6 +147,11 @@ class Network:
             self.aps.append(ap)
             if config.mode == "wgtt":
                 self.controller.add_ap(node_id)
+
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_scenario is not None:
+            self.fault_injector = FaultInjector(self, config.fault_scenario)
+            self.fault_injector.arm()
 
     # --------------------------------------------------------------- clients
     def add_client(

@@ -18,11 +18,13 @@ Inspect the channel (Fig. 2 / Fig. 10 style)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from ..faults import FaultScenario
 from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
 from ..orchestration import ResultCache, SweepSpec, run_sweep
 from .builder import ExperimentConfig, build_network
@@ -32,18 +34,35 @@ from .runners import run_single_drive
 __all__ = ["main"]
 
 
+def _load_fault_scenario(arg: Optional[str]) -> Optional[FaultScenario]:
+    """``--fault-scenario`` accepts a JSON file path or inline JSON."""
+    if arg is None:
+        return None
+    if os.path.exists(arg):
+        with open(arg, "r", encoding="utf-8") as fh:
+            return FaultScenario.from_json(fh.read())
+    if arg.lstrip().startswith("{"):
+        return FaultScenario.from_json(arg)
+    raise SystemExit(f"--fault-scenario: no such file: {arg}")
+
+
 def _coverage_window(speed_mph: float, road: RoadLayout):
     v = mph_to_mps(speed_mph)
     return 15.0 / v, (road.span_m + 15.0) / v
 
 
 def cmd_drive(args: argparse.Namespace) -> int:
+    scenario = _load_fault_scenario(args.fault_scenario)
+    extra = {}
+    if scenario is not None:
+        extra["fault_scenario"] = scenario
     result = run_single_drive(
         mode=args.mode,
         speed_mph=args.speed,
         traffic=args.traffic,
         udp_rate_mbps=args.udp_rate,
         seed=args.seed,
+        **extra,
     )
     road = result.net.road
     if args.speed > 0:
@@ -58,6 +77,12 @@ def cmd_drive(args: argparse.Namespace) -> int:
     print(f"AP switches    : {result.timeline.switch_count}")
     print(f"sim duration   : {result.duration_s:.1f} s "
           f"({result.net.sim.events_fired} events)")
+    if scenario is not None:
+        stats = result.net.fault_injector.stats()
+        print(f"faults         : {len(scenario)} events "
+              f"({stats['applied_events']} applied, "
+              f"{stats['drops_node_down'] + stats['drops_rule']} pkts dropped, "
+              f"{stats['delayed_packets']} delayed)")
     if args.timeseries:
         _ts, mbps = throughput_timeseries(result.deliveries, t0, t1, bin_s=0.5)
         for i, v in enumerate(mbps):
@@ -76,10 +101,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     seeds = ([int(s) for s in args.seeds.split(",")]
              if args.seeds else [args.seed])
+    scenario = _load_fault_scenario(args.fault_scenario)
     spec = SweepSpec(
         modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
         seeds=seeds, udp_rate_mbps=args.udp_rate,
         n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
+        fault_scenario=scenario,
     )
     cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
     result = run_sweep(
@@ -156,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--udp-rate", type=float, default=50.0)
     drive.add_argument("--seed", type=int, default=0)
     drive.add_argument("--timeseries", action="store_true")
+    drive.add_argument("--fault-scenario", default=None, metavar="FILE",
+                       help="fault scenario JSON (file path or inline)")
     drive.set_defaults(fn=cmd_drive)
 
     sweep = sub.add_parser(
@@ -185,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override AP spacing in metres")
     sweep.add_argument("--verbose", action="store_true",
                        help="per-job progress lines on stderr")
+    sweep.add_argument("--fault-scenario", default=None, metavar="FILE",
+                       help="fault scenario JSON applied to every job "
+                            "(file path or inline)")
     sweep.set_defaults(fn=cmd_sweep)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")

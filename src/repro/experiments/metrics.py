@@ -8,13 +8,11 @@ assorted helpers.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..phy.channel import Link
-from ..phy.mcs import link_capacity_mbps
 from ..sim.trace import TraceRecorder
 
 __all__ = [

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for resilience experiments.
+
+The paper's evaluation assumes healthy infrastructure; this package asks
+the production questions -- what happens when AP 5 crashes at t=12 s, or
+the LAN partitions mid-switch?  A :class:`FaultScenario` declares timed
+fault events (JSON-roundtrippable, cache-keyable); a
+:class:`FaultInjector` arms it against a built network via a
+:class:`BackhaulFaultOverlay` and scheduled AP crash/restart events.
+
+Fault injection is strictly opt-in: with no scenario supplied, no
+overlay is attached, no RNG stream is touched, and every result is
+bit-identical to a build without this package.
+"""
+
+from .injector import FaultInjector
+from .overlay import BackhaulFaultOverlay, LinkRule, SendVerdict
+from .scenario import FAULT_KINDS, FaultEvent, FaultScenario, coerce_scenario
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultScenario",
+    "FaultInjector",
+    "BackhaulFaultOverlay",
+    "LinkRule",
+    "SendVerdict",
+    "coerce_scenario",
+]

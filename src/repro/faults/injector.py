@@ -1,0 +1,155 @@
+"""Applies a :class:`FaultScenario` to a built network.
+
+The injector is armed once at build time: it attaches a
+:class:`~repro.faults.overlay.BackhaulFaultOverlay` to the backhaul,
+installs the scenario's windowed link rules, and schedules the discrete
+events (AP crashes/restarts) on the simulator.  Everything it does is
+deterministic in (config seed, scenario) -- the overlay RNG is derived
+from both, independent of every other stream in the simulation.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from .overlay import BackhaulFaultOverlay, LinkRule
+from .scenario import FaultEvent, FaultScenario
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Arms one scenario against one built :class:`~repro.experiments.builder.Network`."""
+
+    def __init__(self, net, scenario: FaultScenario):
+        self.net = net
+        self.scenario = scenario
+        self.overlay = BackhaulFaultOverlay(
+            rng=np.random.default_rng(
+                [int(net.config.seed), 0xFA, int(scenario.seed)]
+            ),
+            trace=net.trace,
+        )
+        self.applied_events = 0
+        self._armed = False
+
+    # ------------------------------------------------------------- address
+    def _ap(self, index: int):
+        aps = self.net.aps
+        if not 0 <= index < len(aps):
+            raise ValueError(
+                f"fault references AP index {index}, network has {len(aps)} APs"
+            )
+        return aps[index]
+
+    def _group(self, indices, empty_means_controller: bool):
+        """Resolve AP indices to node ids; () = controller side or wildcard."""
+        if not indices:
+            if empty_means_controller:
+                return frozenset({self.net.controller_id})
+            return None  # wildcard: any node
+        return frozenset(self._ap(i).node_id for i in indices)
+
+    # ----------------------------------------------------------------- arm
+    def arm(self) -> None:
+        """Attach the overlay and schedule every event.  Idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        self.net.backhaul.attach_fault_overlay(self.overlay)
+        for event in self.scenario.events:
+            if event.kind == "ap_crash":
+                self.net.sim.schedule_at(event.time, self._crash_ap, event)
+                if event.duration_s is not None:
+                    restart = FaultEvent(
+                        kind="ap_restart", time=event.end_time, ap=event.ap
+                    )
+                    self.net.sim.schedule_at(restart.time, self._restart_ap, restart)
+            elif event.kind == "ap_restart":
+                self.net.sim.schedule_at(event.time, self._restart_ap, event)
+            else:
+                self.overlay.add_rule(self._rule_for(event))
+
+    # -------------------------------------------------------------- events
+    def _crash_ap(self, event: FaultEvent) -> None:
+        ap = self._ap(event.ap)
+        now = self.net.sim.now
+        self.applied_events += 1
+        self.net.trace.emit(now, "fault_ap_crash", ap=ap.node_id,
+                            ap_index=event.ap)
+        ap.fail()
+        self.overlay.fail_node(ap.node_id, now)
+
+    def _restart_ap(self, event: FaultEvent) -> None:
+        ap = self._ap(event.ap)
+        now = self.net.sim.now
+        self.applied_events += 1
+        self.net.trace.emit(now, "fault_ap_restart", ap=ap.node_id,
+                            ap_index=event.ap)
+        self.overlay.revive_node(ap.node_id, now)
+        ap.restore()
+
+    # --------------------------------------------------------------- rules
+    def _rule_for(self, event: FaultEvent) -> LinkRule:
+        if event.kind == "link_loss":
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=self._group(event.aps_a, empty_means_controller=True),
+                group_b=self._group(event.aps_b, empty_means_controller=False),
+                loss_probability=event.loss_probability,
+                kind="link_loss",
+            )
+        if event.kind == "link_jitter":
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=self._group(event.aps_a, empty_means_controller=True),
+                group_b=self._group(event.aps_b, empty_means_controller=False),
+                extra_latency_s=event.extra_latency_s,
+                jitter_s=event.jitter_s,
+                kind="link_jitter",
+            )
+        if event.kind == "partition":
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=self._group(event.aps_a, empty_means_controller=True),
+                group_b=self._group(event.aps_b, empty_means_controller=False),
+                loss_probability=1.0,
+                kind="partition",
+            )
+        if event.kind == "csi_drop":
+            sources = (
+                frozenset({self._ap(event.ap).node_id})
+                if event.ap is not None else None
+            )
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=sources,
+                group_b=frozenset({self.net.controller_id}),
+                loss_probability=event.loss_probability,
+                csi_only=True,
+                bidirectional=False,
+                kind="csi_drop",
+            )
+        if event.kind == "ctrl_delay":
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=frozenset({self.net.controller_id}),
+                group_b=self._group(event.aps_b, empty_means_controller=False),
+                extra_latency_s=event.extra_latency_s,
+                jitter_s=event.jitter_s,
+                ctrl_only=True,
+                bidirectional=False,
+                kind="ctrl_delay",
+            )
+        raise ValueError(f"unhandled fault kind {event.kind!r}")
+
+    # ------------------------------------------------------------- queries
+    def stats(self) -> dict:
+        return {
+            "applied_events": self.applied_events,
+            "drops_node_down": self.overlay.drops_node_down,
+            "drops_rule": self.overlay.drops_rule,
+            "delayed_packets": self.overlay.delayed_packets,
+            "down_nodes": list(self.overlay.down_nodes),
+        }

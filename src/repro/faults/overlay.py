@@ -1,0 +1,154 @@
+"""Backhaul fault overlay: the data-plane half of fault injection.
+
+The :class:`Backhaul` consults an attached overlay on every ``send``.
+The overlay answers two questions -- *drop this packet?* and *how much
+extra latency?* -- from its node-down set and its list of time-windowed
+link rules.  It owns a dedicated RNG seeded from the scenario, so a run
+with an overlay attached but no rule matching draws nothing from the
+simulation's own streams.
+
+Only the injector mutates the overlay (node failures at event times);
+rules are installed once at arm time and gate themselves on ``now``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from ..sim.trace import TraceRecorder
+
+__all__ = ["LinkRule", "BackhaulFaultOverlay", "SendVerdict"]
+
+
+@dataclass
+class LinkRule:
+    """One time-windowed fault on a set of backhaul links.
+
+    ``group_a`` / ``group_b`` are *node ids* (the injector resolves AP
+    indices before installing rules).  ``None`` for a group means "any
+    node" on that side; rules match symmetrically when ``bidirectional``.
+    ``csi_only`` restricts the rule to CSI-report packets, ``ctrl_only``
+    to any control packet -- the knobs behind the ``csi_drop`` and
+    ``ctrl_delay`` fault models.
+    """
+
+    t0: float
+    t1: float
+    group_a: Optional[frozenset] = None
+    group_b: Optional[frozenset] = None
+    loss_probability: float = 0.0
+    extra_latency_s: float = 0.0
+    jitter_s: float = 0.0
+    ctrl_only: bool = False
+    csi_only: bool = False
+    bidirectional: bool = True
+    kind: str = "link"
+
+    def active(self, now: float) -> bool:
+        return self.t0 <= now < self.t1
+
+    def _sides_match(self, src: int, dst: int) -> bool:
+        a, b = self.group_a, self.group_b
+        forward = (a is None or src in a) and (b is None or dst in b)
+        if forward:
+            return True
+        if not self.bidirectional:
+            return False
+        return (a is None or dst in a) and (b is None or src in b)
+
+    def matches(self, src: int, dst: int, packet, now: float) -> bool:
+        if not self.active(now):
+            return False
+        if self.ctrl_only and packet.protocol != "ctrl":
+            return False
+        if self.csi_only and not _is_csi(packet):
+            return False
+        return self._sides_match(src, dst)
+
+
+def _is_csi(packet) -> bool:
+    payload = getattr(packet, "payload", None)
+    return type(payload).__name__ == "CsiReport"
+
+
+@dataclass
+class SendVerdict:
+    """The overlay's answer for one packet."""
+
+    drop: bool = False
+    reason: str = ""
+    extra_latency_s: float = 0.0
+
+
+class BackhaulFaultOverlay:
+    """Holds injected backhaul faults and adjudicates every send.
+
+    Attach with :meth:`repro.net.ethernet.Backhaul.attach_fault_overlay`.
+    While attached, a send to a dead or unregistered node is a traced
+    drop instead of a hard ``KeyError`` -- infrastructure failure is an
+    expected condition under injection, a wiring bug otherwise.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 trace: Optional[TraceRecorder] = None):
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder(keep_kinds=set())
+        self._down: Set[int] = set()
+        self._rules: list = []
+        self.drops_node_down = 0
+        self.drops_rule = 0
+        self.delayed_packets = 0
+
+    # ------------------------------------------------------------ topology
+    def fail_node(self, node_id: int, now: float) -> None:
+        self._down.add(node_id)
+        self.trace.emit(now, "fault_node_down", node=node_id)
+
+    def revive_node(self, node_id: int, now: float) -> None:
+        self._down.discard(node_id)
+        self.trace.emit(now, "fault_node_up", node=node_id)
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    @property
+    def down_nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._down))
+
+    # --------------------------------------------------------------- rules
+    def add_rule(self, rule: LinkRule) -> LinkRule:
+        self._rules.append(rule)
+        return rule
+
+    # ------------------------------------------------------------ verdicts
+    def on_send(self, src: int, dst: int, packet, now: float,
+                dst_registered: bool = True) -> SendVerdict:
+        """Adjudicate one backhaul send (called by ``Backhaul.send``)."""
+        if src in self._down or dst in self._down or not dst_registered:
+            self.drops_node_down += 1
+            reason = "node_down" if dst_registered else "unregistered"
+            self.trace.emit(now, "fault_backhaul_drop", src=src, dst=dst,
+                            reason=reason)
+            return SendVerdict(drop=True, reason=reason)
+        extra = 0.0
+        for rule in self._rules:
+            if not rule.matches(src, dst, packet, now):
+                continue
+            if rule.loss_probability > 0.0 and (
+                rule.loss_probability >= 1.0
+                or self.rng.random() < rule.loss_probability
+            ):
+                self.drops_rule += 1
+                self.trace.emit(now, "fault_backhaul_drop", src=src, dst=dst,
+                                reason=rule.kind)
+                return SendVerdict(drop=True, reason=rule.kind)
+            if rule.extra_latency_s > 0.0 or rule.jitter_s > 0.0:
+                extra += rule.extra_latency_s
+                if rule.jitter_s > 0.0:
+                    extra += float(self.rng.uniform(0.0, rule.jitter_s))
+        if extra > 0.0:
+            self.delayed_packets += 1
+        return SendVerdict(extra_latency_s=extra)

@@ -1,0 +1,247 @@
+"""Declarative fault scenarios.
+
+A :class:`FaultScenario` is an ordered list of timed :class:`FaultEvent`
+records -- AP crashes and restarts, per-link loss/latency faults, LAN
+partitions, CSI-report drop bursts, and control-message delays.  It is a
+plain value: JSON-roundtrippable, hashable into cache keys, and picklable
+across sweep-worker boundaries, so faulty drives flow through the same
+orchestration and persistent result cache as healthy ones.
+
+Events are either written down explicitly (absolute times) or generated
+from a seeded probabilistic process (:meth:`FaultScenario.poisson_ap_crashes`),
+which materialises concrete timed events deterministically -- the same
+seed always yields the same scenario, so faulty runs stay bit-reproducible.
+
+APs are addressed by *index* into the road layout (0..n_aps-1), not by
+node id: node ids are an artefact of build order, while the AP index is
+part of the experiment's declarative description.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultEvent", "FaultScenario", "FAULT_KINDS"]
+
+#: Every fault model the injector understands.
+FAULT_KINDS = (
+    "ap_crash",      # AP dies: radio off, backhaul drops everything to/from it
+    "ap_restart",    # a crashed AP comes back with cold queues
+    "link_loss",     # per-link probabilistic loss between two node groups
+    "link_jitter",   # extra latency (+ uniform jitter) between two node groups
+    "partition",     # hard partition: everything between the groups is dropped
+    "csi_drop",      # burst-drop CSI reports from one AP (or all APs)
+    "ctrl_delay",    # delay controller-originated control messages
+)
+
+#: Kinds that require an ``ap`` index.
+_AP_KINDS = ("ap_crash", "ap_restart")
+
+#: Kinds that install a windowed backhaul rule.
+_RULE_KINDS = ("link_loss", "link_jitter", "partition", "csi_drop", "ctrl_delay")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    ``time`` is the absolute simulation time the fault begins;
+    ``duration_s`` bounds windowed faults (None = for the rest of the
+    run; crashes last until a matching ``ap_restart``).
+
+    Group fields (``aps_a`` / ``aps_b``) select the link endpoints of
+    ``link_loss`` / ``link_jitter`` / ``partition`` rules by AP index;
+    an empty group means *the controller side* for ``aps_a`` and
+    *everyone else* for ``aps_b``.
+    """
+
+    kind: str
+    time: float
+    duration_s: Optional[float] = None
+    #: AP index for ap_crash / ap_restart / csi_drop (csi_drop: None = all APs).
+    ap: Optional[int] = None
+    aps_a: Tuple[int, ...] = ()
+    aps_b: Tuple[int, ...] = ()
+    #: link_loss / csi_drop drop probability.
+    loss_probability: float = 1.0
+    #: link_jitter / ctrl_delay fixed extra one-way latency.
+    extra_latency_s: float = 0.0
+    #: link_jitter / ctrl_delay uniform jitter on top of the extra latency.
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], got {self.loss_probability}"
+            )
+        if self.extra_latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latency/jitter must be non-negative")
+        if self.kind in _AP_KINDS and self.ap is None:
+            raise ValueError(f"{self.kind} requires an ap index")
+        object.__setattr__(self, "aps_a", tuple(int(a) for a in self.aps_a))
+        object.__setattr__(self, "aps_b", tuple(int(b) for b in self.aps_b))
+
+    @property
+    def end_time(self) -> float:
+        """When the fault window closes (inf for open-ended faults)."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.time + self.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; defaulted fields are omitted for stable keys."""
+        out: Dict[str, Any] = {"kind": self.kind, "time": self.time}
+        for f in fields(self):
+            if f.name in ("kind", "time"):
+                continue
+            value = getattr(self, f.name)
+            default = f.default
+            if isinstance(value, tuple):
+                if value:
+                    out[f.name] = list(value)
+            elif value != default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        kwargs = dict(data)
+        for group in ("aps_a", "aps_b"):
+            if group in kwargs:
+                kwargs[group] = tuple(kwargs[group])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """An immutable, JSON-roundtrippable schedule of fault events.
+
+    ``seed`` drives every probabilistic draw the injector makes while the
+    scenario runs (loss coin flips, jitter), independent of the
+    simulation's own RNG streams -- a healthy run and a faulty run of the
+    same config draw identical values everywhere outside the fault path.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    #: Controller AP-liveness eviction timeout enabled while this
+    #: scenario is armed (None = keep the controller's own setting).
+    liveness_timeout_s: Optional[float] = 0.25
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+            for e in self.events
+        )
+        object.__setattr__(
+            self, "events", tuple(sorted(normalized, key=lambda e: (e.time, e.kind)))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "events": [e.to_dict() for e in self.events],
+            "seed": self.seed,
+        }
+        if self.liveness_timeout_s != 0.25:
+            out["liveness_timeout_s"] = self.liveness_timeout_s
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultScenario":
+        kwargs = dict(data)
+        kwargs["events"] = tuple(
+            FaultEvent.from_dict(e) for e in kwargs.get("events", ())
+        )
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (stable key order, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultScenario":
+        return cls.from_dict(json.loads(text))
+
+    def key_hash(self, length: int = 10) -> str:
+        """Short stable digest for cache keys and job identity strings."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:length]
+
+    # ---------------------------------------------------------- generators
+    @classmethod
+    def single_ap_crash(
+        cls,
+        ap: int,
+        at: float,
+        restart_after_s: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FaultScenario":
+        """The canonical resilience experiment: one AP dies mid-drive."""
+        events: List[FaultEvent] = [FaultEvent(kind="ap_crash", time=at, ap=ap)]
+        if restart_after_s is not None:
+            events.append(
+                FaultEvent(kind="ap_restart", time=at + restart_after_s, ap=ap)
+            )
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def poisson_ap_crashes(
+        cls,
+        n_aps: int,
+        duration_s: float,
+        crash_rate_per_ap_hz: float,
+        mean_downtime_s: float = 2.0,
+        seed: int = 0,
+    ) -> "FaultScenario":
+        """Materialise a seeded crash/restart process into timed events.
+
+        Each AP fails as an independent Poisson process; downtimes are
+        exponential with mean ``mean_downtime_s``.  The draw order is
+        fixed (AP by AP), so the same arguments always produce the same
+        scenario.
+        """
+        if n_aps <= 0 or duration_s <= 0 or crash_rate_per_ap_hz < 0:
+            raise ValueError("n_aps/duration_s must be positive, rate >= 0")
+        rng = np.random.default_rng([int(seed), 0xFA17])
+        events: List[FaultEvent] = []
+        for ap in range(n_aps):
+            t = 0.0
+            while crash_rate_per_ap_hz > 0:
+                t += float(rng.exponential(1.0 / crash_rate_per_ap_hz))
+                if t >= duration_s:
+                    break
+                down = float(rng.exponential(mean_downtime_s))
+                events.append(FaultEvent(kind="ap_crash", time=round(t, 6), ap=ap))
+                t += max(down, 1e-3)
+                if t >= duration_s:
+                    break
+                events.append(FaultEvent(kind="ap_restart", time=round(t, 6), ap=ap))
+        return cls(events=tuple(events), seed=seed)
+
+
+def coerce_scenario(value: Any) -> Optional[FaultScenario]:
+    """Accept a FaultScenario, dict, or JSON string (None passes through)."""
+    if value is None or isinstance(value, FaultScenario):
+        return value
+    if isinstance(value, str):
+        return FaultScenario.from_json(value)
+    if isinstance(value, dict):
+        return FaultScenario.from_dict(value)
+    raise TypeError(
+        f"fault scenario must be FaultScenario, dict, or JSON str, "
+        f"got {type(value).__name__}"
+    )

@@ -11,7 +11,7 @@ reporting, association) lives in subclasses under :mod:`repro.core`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..phy.mcs import McsEntry
 from ..sim.engine import EventHandle, Simulator
 from ..sim.trace import TraceRecorder
 from .airtime import DEFAULT_TIMING, MacTiming, ampdu_airtime_s, block_ack_airtime_s
-from .block_ack import BlockAckScoreboard, SequenceCounter
+from .block_ack import BlockAckScoreboard
 from .frames import Ampdu, Beacon, BlockAck, MgmtFrame, Mpdu
 from .medium import Medium
 from .rate_control import MinstrelLite, RateController
@@ -151,6 +151,24 @@ class Radio:
         state.mpdus_dropped += dropped
         state.retry_queue.clear()
         return dropped
+
+    # ----------------------------------------------------------- power state
+    def power_off(self) -> None:
+        """Take the station off the air (fault injection: AP crash).
+
+        A disabled radio neither transmits (``kick``/``build_transmission``
+        bail out) nor decodes (``on_frame`` bails out).  Queued management
+        frames and the pending block-ACK exchange die with the power.
+        """
+        self.enabled = False
+        self._mgmt_queue.clear()
+        self._beacon_queue.clear()
+        self._clear_ba_wait()
+
+    def power_on(self) -> None:
+        """Bring a powered-off station back (fault injection: AP restart)."""
+        self.enabled = True
+        self.kick()
 
     # ------------------------------------------------------------ tx plumbing
     def kick(self) -> None:

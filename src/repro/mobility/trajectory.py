@@ -8,7 +8,6 @@ like Fig. 9 of the paper.  Cars drive along ``x`` in one of two lanes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 

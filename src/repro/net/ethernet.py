@@ -12,7 +12,7 @@ because stop/start/ack packets may be lost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -33,12 +33,17 @@ class BackhaulParams:
     both ends; ``jitter_s`` is a uniform spread on top.  ``bandwidth_bps``
     adds per-byte serialization (gigabit by default, so ~12 us per 1500 B
     frame).  ``loss_probability`` applies to every backhaul packet.
+    ``link_jitter_s`` adds a *persistent* per-(src, dst) latency offset
+    drawn once per pair in ``[0, link_jitter_s]`` -- unequal cable runs
+    and switch paths; the draw is seeded, so delivery order is
+    deterministic for a fixed seed.
     """
 
     base_latency_s: float = 300e-6
     jitter_s: float = 100e-6
     bandwidth_bps: float = 1e9
     loss_probability: float = 0.0
+    link_jitter_s: float = 0.0
 
 
 class Backhaul:
@@ -58,8 +63,15 @@ class Backhaul:
         #: never reorders frames within one flow, so jittered latencies are
         #: clamped to be monotone per pair.
         self._last_delivery: Dict[tuple, float] = {}
+        #: Persistent per-pair latency offset (lazily drawn; see
+        #: ``BackhaulParams.link_jitter_s``).
+        self._pair_offset: Dict[tuple, float] = {}
+        #: Optional fault overlay (see :mod:`repro.faults.overlay`).  While
+        #: attached, sends to dead/unregistered nodes become traced drops.
+        self.fault_overlay = None
         self.packets_sent = 0
         self.packets_lost = 0
+        self.fault_dropped = 0
         self.bytes_sent = 0
 
     def register(self, node_id: int, receive: BackhaulEndpoint) -> None:
@@ -71,16 +83,45 @@ class Backhaul:
     def is_registered(self, node_id: int) -> bool:
         return node_id in self._endpoints
 
+    def attach_fault_overlay(self, overlay) -> None:
+        """Install a fault overlay; every subsequent send consults it."""
+        self.fault_overlay = overlay
+
+    def _link_offset(self, src: int, dst: int) -> float:
+        """The pair's persistent latency offset (0 when the knob is off)."""
+        if self.params.link_jitter_s <= 0.0:
+            return 0.0
+        key = (src, dst)
+        offset = self._pair_offset.get(key)
+        if offset is None:
+            offset = float(self.rng.uniform(0.0, self.params.link_jitter_s))
+            self._pair_offset[key] = offset
+        return offset
+
     def send(self, src: int, dst: int, packet: Packet) -> None:
         """Queue ``packet`` from ``src`` to ``dst`` across the LAN.
 
         Unknown destinations raise immediately: backhaul membership is
         static in the testbed, so a miss is a wiring bug, not packet loss.
+        Under an attached fault overlay the contract softens -- sends to
+        dead or unregistered nodes become traced drops, because
+        infrastructure failure is exactly what is being injected.
         """
-        if dst not in self._endpoints:
+        if self.fault_overlay is None and dst not in self._endpoints:
             raise KeyError(f"node {dst} is not on the backhaul")
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
+        fault_latency = 0.0
+        if self.fault_overlay is not None:
+            verdict = self.fault_overlay.on_send(
+                src, dst, packet, self.sim.now,
+                dst_registered=dst in self._endpoints,
+            )
+            if verdict.drop:
+                self.packets_lost += 1
+                self.fault_dropped += 1
+                return
+            fault_latency = verdict.extra_latency_s
         if self.params.loss_probability > 0.0 and (
             self.rng.random() < self.params.loss_probability
         ):
@@ -89,6 +130,8 @@ class Backhaul:
         latency = (
             self.params.base_latency_s
             + float(self.rng.uniform(0.0, self.params.jitter_s))
+            + self._link_offset(src, dst)
+            + fault_latency
             + packet.size_bytes * 8.0 / self.params.bandwidth_bps
         )
         deliver_at = self.sim.now + latency

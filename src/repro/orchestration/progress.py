@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, TextIO
 
 __all__ = ["ProgressReporter", "SweepStats"]

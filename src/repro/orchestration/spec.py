@@ -23,7 +23,20 @@ from dataclasses import dataclass, field, fields
 from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import coerce_scenario
+
 __all__ = ["JobSpec", "SweepSpec", "derive_seed"]
+
+
+def _canonical_scenario_json(value: Any) -> Optional[str]:
+    """Normalise any accepted scenario form to its canonical JSON string.
+
+    Jobs carry fault scenarios as canonical JSON: a hashable scalar that
+    pickles across worker boundaries and produces one cache key no matter
+    whether the caller supplied a FaultScenario, a dict, or a string.
+    """
+    scenario = coerce_scenario(value)
+    return None if scenario is None else scenario.to_json()
 
 #: Scalar types allowed in job overrides (anything else cannot be hashed
 #: into a stable cache key or serialised to JSON losslessly).
@@ -62,6 +75,10 @@ class JobSpec:
     warmup_s: float = 0.5
     n_aps: Optional[int] = None
     ap_spacing_m: Optional[float] = None
+    #: Fault scenario as canonical JSON (None = healthy run).  Accepts a
+    #: FaultScenario or dict at construction; stored normalised so equal
+    #: scenarios always produce equal jobs and cache keys.
+    fault_scenario: Optional[str] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -69,6 +86,9 @@ class JobSpec:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.traffic not in ("tcp", "udp"):
             raise ValueError(f"unknown traffic {self.traffic!r}")
+        object.__setattr__(
+            self, "fault_scenario", _canonical_scenario_json(self.fault_scenario)
+        )
         normalized = tuple(sorted((str(k), v) for k, v in self.overrides))
         for name, value in normalized:
             if not isinstance(value, _SCALAR_TYPES):
@@ -98,6 +118,8 @@ class JobSpec:
             parts.append(f"sp{self.ap_spacing_m:g}")
         if self.duration_s is not None:
             parts.append(f"d{self.duration_s:g}")
+        if self.fault_scenario is not None:
+            parts.append(f"fault={coerce_scenario(self.fault_scenario).key_hash()}")
         parts.extend(f"{k}={v}" for k, v in self.overrides)
         return ":".join(parts)
 
@@ -133,6 +155,9 @@ class JobSpec:
                 self.ap_spacing_m if self.ap_spacing_m is not None
                 else DEFAULT_AP_SPACING_M,
             )
+        if self.fault_scenario is not None:
+            # Passed through as the JSON string; ExperimentConfig coerces.
+            kwargs["fault_scenario"] = self.fault_scenario
         kwargs.update(dict(self.overrides))
         return kwargs
 
@@ -157,12 +182,15 @@ class SweepSpec:
     warmup_s: float = 0.5
     n_aps: Optional[int] = None
     ap_spacing_m: Optional[float] = None
+    #: Fault scenario applied to every job (FaultScenario, dict, or JSON).
+    fault_scenario: Optional[Any] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
 
     def expand(self) -> List[JobSpec]:
         """The full, ordered job list for this sweep."""
         jobs: List[JobSpec] = []
         override_items = tuple(sorted(self.overrides.items()))
+        scenario_json = _canonical_scenario_json(self.fault_scenario)
         for mode, speed, traffic in product(self.modes, self.speeds_mph,
                                             self.traffics):
             if self.seeds is not None:
@@ -183,6 +211,7 @@ class SweepSpec:
                     warmup_s=self.warmup_s,
                     n_aps=self.n_aps,
                     ap_spacing_m=self.ap_spacing_m,
+                    fault_scenario=scenario_json,
                     overrides=override_items,
                 ))
         return jobs

@@ -8,8 +8,9 @@ metrics layer (:mod:`repro.experiments.metrics`) consumes them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
@@ -38,17 +39,32 @@ class TraceRecorder:
 
     Recording can be limited to a set of kinds to bound memory in long
     sweeps; counters are always maintained for every kind seen.
+
+    ``max_records`` additionally caps the number of *stored* records with
+    ring-buffer semantics: once full, each new record evicts the oldest
+    one.  Counters remain exact regardless of eviction, and
+    ``dropped_records`` reports how many records were evicted.
     """
 
-    def __init__(self, keep_kinds: Optional[set] = None):
-        self._records: List[TraceRecord] = []
+    def __init__(self, keep_kinds: Optional[set] = None,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._keep_kinds = keep_kinds
+        self.max_records = max_records
+        self.dropped_records = 0
         self.counters: Dict[str, int] = {}
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an event of ``kind`` at simulation time ``time``."""
         self.counters[kind] = self.counters.get(kind, 0) + 1
         if self._keep_kinds is None or kind in self._keep_kinds:
+            if (self.max_records is not None
+                    and len(self._records) == self.max_records):
+                self.dropped_records += 1
+                if self.max_records == 0:
+                    return
             self._records.append(TraceRecord(time, kind, fields))
 
     def count(self, kind: str) -> int:
@@ -77,6 +93,7 @@ class TraceRecorder:
     def clear(self) -> None:
         self._records.clear()
         self.counters.clear()
+        self.dropped_records = 0
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,10 +1,7 @@
 """Unit/integration tests for AP node internals and the mobile client."""
 
-import numpy as np
-import pytest
 
-from repro.core.ap import ApParams
-from repro.core.association import AssociationRecord, AssociationTable, pre_associate
+from repro.core.association import AssociationRecord, AssociationTable
 from repro.core.messages import BaForward, ServingUpdate, StartMsg, StopMsg
 from repro.experiments import ExperimentConfig, build_network
 from repro.mobility import RoadLayout, StationaryTrajectory

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.ap_selection import ApSelector
 from repro.phy.csi import CSIReading
-from repro.phy.esnr import effective_snr_db
 
 
 def reading(csi, mean_snr_db, t=0.0):

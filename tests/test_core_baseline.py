@@ -1,7 +1,6 @@
 """Integration tests for the Enhanced 802.11r baseline."""
 
 import numpy as np
-import pytest
 
 from repro.core.baseline import BaselinePolicyParams
 from repro.experiments import ExperimentConfig, build_network

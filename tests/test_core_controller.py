@@ -1,7 +1,6 @@
 """Unit tests for the WGTT controller driven by injected CSI reports."""
 
 import numpy as np
-import pytest
 
 from repro.core.controller import ControllerParams, WgttController
 from repro.core.messages import CsiReport, StartMsg, StopMsg, SwitchAck, ctrl_packet

@@ -1,9 +1,7 @@
 """Integration tests for the WGTT stop/start/ack switching protocol."""
 
 import numpy as np
-import pytest
 
-from repro.core.messages import StartMsg, StopMsg
 from repro.experiments import ExperimentConfig, build_network
 from repro.mobility import LinearTrajectory, RoadLayout
 from repro.net.ethernet import BackhaulParams
@@ -136,3 +134,69 @@ def test_serving_update_broadcast_to_all_aps():
     assert serving is not None
     for ap in net.aps:
         assert ap.serving_map.get(client.node_id) == serving
+
+
+# --------------------------------------------------------------- ack loss
+def drop_switch_acks(net, count=None):
+    """Deterministically drop the first ``count`` SwitchAck sends.
+
+    ``count=None`` drops every ack.  Returns a dict whose ``"dropped"``
+    entry counts the acks eaten so far.
+    """
+    from repro.core.messages import SwitchAck
+
+    original = net.backhaul.send
+    state = {"dropped": 0}
+
+    def send(src, dst, packet):
+        if packet.protocol == "ctrl" and isinstance(packet.payload, SwitchAck):
+            if count is None or state["dropped"] < count:
+                state["dropped"] += 1
+                return
+        original(src, dst, packet)
+
+    net.backhaul.send = send
+    return state
+
+
+def test_ack_lost_once_recovered_by_one_retransmit():
+    net, client = driving_net()
+    dropped = drop_switch_acks(net, count=1)
+    net.sim.call_every(0.005, lambda: feed(net, client, 3))
+    net.run(until=6.0)
+    assert dropped["dropped"] == 1
+    # The handshake retried and every switch eventually completed.
+    assert net.trace.count("switch_retransmit") >= 1
+    assert net.trace.count("ap_switch") >= 3
+    assert net.trace.count("switch_failed") == 0
+
+
+def test_ack_lost_twice_recovered_by_retransmits():
+    net, client = driving_net()
+    dropped = drop_switch_acks(net, count=2)
+    net.sim.call_every(0.005, lambda: feed(net, client, 3))
+    net.run(until=6.0)
+    assert dropped["dropped"] == 2
+    assert net.trace.count("switch_retransmit") >= 2
+    assert net.trace.count("ap_switch") >= 3
+    assert net.trace.count("switch_failed") == 0
+
+
+def test_ack_lost_permanently_bounded_give_up():
+    """With every ack eaten, the controller retries a bounded number of
+    times per handshake, declares failure, and never completes a switch."""
+    from repro.core.controller import ControllerParams
+
+    params = ControllerParams(max_switch_attempts=4)
+    net, client = driving_net(controller_params=params)
+    drop_switch_acks(net, count=None)
+    net.sim.call_every(0.005, lambda: feed(net, client, 3))
+    net.run(until=6.0)
+    assert net.trace.count("ap_switch") == 0
+    assert net.trace.count("switch_failed") >= 1
+    # Retries stay bounded: at most (max_attempts - 1) per failed handshake.
+    retransmits = net.trace.count("switch_retransmit")
+    failures = net.trace.count("switch_failed")
+    initiated = net.trace.count("switch_initiated")
+    assert retransmits <= initiated * (params.max_switch_attempts - 1)
+    assert failures >= 1

@@ -10,7 +10,7 @@ from repro.experiments.metrics import (
     mean_throughput_mbps,
     throughput_timeseries,
 )
-from repro.mobility import RoadLayout, StationaryTrajectory
+from repro.mobility import StationaryTrajectory
 from repro.sim.trace import TraceRecorder
 
 

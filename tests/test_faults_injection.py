@@ -1,0 +1,212 @@
+"""Unit tests for the fault overlay and injector (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import CsiReport, ctrl_packet
+from repro.faults import BackhaulFaultOverlay, FaultScenario, LinkRule
+from repro.net.ethernet import Backhaul, BackhaulParams
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+def make_overlay(seed=0):
+    trace = TraceRecorder()
+    overlay = BackhaulFaultOverlay(np.random.default_rng(seed), trace=trace)
+    return overlay, trace
+
+
+def data_packet(n=100):
+    return Packet(size_bytes=n, src=1, dst=2, protocol="udp")
+
+
+def csi_packet(src=1, dst=0):
+    from repro.phy.csi import CSIReading
+
+    reading = CSIReading(time=0.0, ap_id=src, client_id=9,
+                         csi=np.ones(4, dtype=complex), mean_snr_db=20.0)
+    return ctrl_packet(src, dst, CsiReport(reading=reading), 0.0)
+
+
+# ---------------------------------------------------------------- overlay
+def test_overlay_node_down_drops_both_directions():
+    overlay, trace = make_overlay()
+    overlay.fail_node(5, now=1.0)
+    assert overlay.on_send(5, 2, data_packet(), 1.0).drop
+    assert overlay.on_send(2, 5, data_packet(), 1.0).drop
+    assert not overlay.on_send(2, 3, data_packet(), 1.0).drop
+    overlay.revive_node(5, now=2.0)
+    assert not overlay.on_send(5, 2, data_packet(), 2.0).drop
+    assert trace.count("fault_node_down") == 1
+    assert trace.count("fault_node_up") == 1
+    assert overlay.drops_node_down == 2
+
+
+def test_overlay_unregistered_destination_drops():
+    overlay, trace = make_overlay()
+    verdict = overlay.on_send(1, 99, data_packet(), 0.0, dst_registered=False)
+    assert verdict.drop and verdict.reason == "unregistered"
+    drops = trace.records("fault_backhaul_drop")
+    assert drops and drops[0]["reason"] == "unregistered"
+
+
+def test_rule_window_gates_matching():
+    overlay, _ = make_overlay()
+    overlay.add_rule(LinkRule(t0=1.0, t1=2.0, loss_probability=1.0))
+    assert not overlay.on_send(1, 2, data_packet(), 0.5).drop
+    assert overlay.on_send(1, 2, data_packet(), 1.0).drop
+    assert overlay.on_send(1, 2, data_packet(), 1.999).drop
+    assert not overlay.on_send(1, 2, data_packet(), 2.0).drop
+
+
+def test_rule_groups_and_bidirectionality():
+    overlay, _ = make_overlay()
+    overlay.add_rule(LinkRule(
+        t0=0.0, t1=10.0, group_a=frozenset({1}), group_b=frozenset({2}),
+        loss_probability=1.0,
+    ))
+    assert overlay.on_send(1, 2, data_packet(), 1.0).drop
+    assert overlay.on_send(2, 1, data_packet(), 1.0).drop  # bidirectional
+    assert not overlay.on_send(1, 3, data_packet(), 1.0).drop
+
+    overlay2, _ = make_overlay()
+    overlay2.add_rule(LinkRule(
+        t0=0.0, t1=10.0, group_a=frozenset({1}), group_b=frozenset({2}),
+        loss_probability=1.0, bidirectional=False,
+    ))
+    assert overlay2.on_send(1, 2, data_packet(), 1.0).drop
+    assert not overlay2.on_send(2, 1, data_packet(), 1.0).drop
+
+
+def test_probabilistic_rule_is_seeded():
+    def run(seed):
+        overlay, _ = make_overlay(seed)
+        overlay.add_rule(LinkRule(t0=0.0, t1=10.0, loss_probability=0.5))
+        return [overlay.on_send(1, 2, data_packet(), 1.0).drop
+                for _ in range(50)]
+
+    a, b, c = run(3), run(3), run(4)
+    assert a == b
+    assert a != c
+    assert 0 < sum(a) < 50
+
+
+def test_csi_only_rule_spares_other_ctrl():
+    overlay, _ = make_overlay()
+    overlay.add_rule(LinkRule(t0=0.0, t1=10.0, loss_probability=1.0,
+                              csi_only=True, bidirectional=False))
+    assert overlay.on_send(1, 0, csi_packet(), 1.0).drop
+    other_ctrl = ctrl_packet(1, 0, object(), 0.0)
+    assert not overlay.on_send(1, 0, other_ctrl, 1.0).drop
+    assert not overlay.on_send(1, 0, data_packet(), 1.0).drop
+
+
+def test_ctrl_only_delay_rule_adds_latency():
+    overlay, _ = make_overlay()
+    overlay.add_rule(LinkRule(t0=0.0, t1=10.0, extra_latency_s=0.004,
+                              jitter_s=0.002, ctrl_only=True))
+    verdict = overlay.on_send(1, 0, csi_packet(), 1.0)
+    assert not verdict.drop
+    assert 0.004 <= verdict.extra_latency_s <= 0.006
+    assert overlay.on_send(1, 0, data_packet(), 1.0).extra_latency_s == 0.0
+    assert overlay.delayed_packets == 1
+
+
+# ------------------------------------------------------- backhaul contract
+def test_backhaul_unknown_dst_still_raises_without_overlay():
+    sim = Simulator()
+    bh = Backhaul(sim, np.random.default_rng(0), params=BackhaulParams())
+    bh.register(1, lambda p, s: None)
+    with pytest.raises(KeyError):
+        bh.send(1, 99, data_packet())
+
+
+def test_backhaul_with_overlay_drops_instead_of_raising():
+    sim = Simulator()
+    bh = Backhaul(sim, np.random.default_rng(0), params=BackhaulParams())
+    overlay, trace = make_overlay()
+    bh.attach_fault_overlay(overlay)
+    bh.register(1, lambda p, s: None)
+    bh.send(1, 99, data_packet())  # unregistered: traced drop, no raise
+    assert bh.fault_dropped == 1
+    assert bh.packets_lost == 1
+    assert trace.count("fault_backhaul_drop") == 1
+
+
+def test_backhaul_overlay_latency_delays_delivery():
+    sim = Simulator()
+    bh = Backhaul(sim, np.random.default_rng(0),
+                  params=BackhaulParams(jitter_s=0.0))
+    overlay, _ = make_overlay()
+    overlay.add_rule(LinkRule(t0=0.0, t1=10.0, extra_latency_s=0.050))
+    bh.attach_fault_overlay(overlay)
+    got = []
+    bh.register(1, lambda p, s: None)
+    bh.register(2, lambda p, s: got.append(sim.now))
+    bh.send(1, 2, data_packet())
+    sim.run()
+    assert len(got) == 1
+    assert got[0] >= 0.050
+
+
+# ---------------------------------------------------------------- injector
+def _built_net(scenario, mode="wgtt"):
+    from repro.experiments import build_network
+
+    return build_network(mode=mode, fault_scenario=scenario)
+
+
+def test_injector_schedules_crash_and_restart():
+    sc = FaultScenario.single_ap_crash(ap=2, at=1.0, restart_after_s=2.0)
+    net = _built_net(sc)
+    ap = net.aps[2]
+    assert ap.alive
+    net.run(until=1.5)
+    assert not ap.alive
+    assert not ap.radio.enabled
+    assert net.fault_injector.overlay.is_down(ap.node_id)
+    net.run(until=3.5)
+    assert ap.alive
+    assert ap.radio.enabled
+    assert not net.fault_injector.overlay.is_down(ap.node_id)
+    assert net.trace.count("fault_ap_crash") == 1
+    assert net.trace.count("fault_ap_restart") == 1
+
+
+def test_injector_crash_duration_auto_restart():
+    sc = FaultScenario(events=(
+        {"kind": "ap_crash", "time": 1.0, "ap": 0, "duration_s": 1.0},
+    ))
+    net = _built_net(sc)
+    net.run(until=3.0)
+    assert net.trace.count("fault_ap_restart") == 1
+    assert net.aps[0].alive
+
+
+def test_injector_rejects_out_of_range_ap():
+    sc = FaultScenario.single_ap_crash(ap=99, at=1.0)
+    net = _built_net(sc)
+    with pytest.raises(ValueError):
+        net.run(until=2.0)
+
+
+def test_injector_partition_blocks_controller_traffic():
+    # Partition AP 0 from the controller for the whole run.
+    sc = FaultScenario(events=(
+        {"kind": "partition", "time": 0.0, "aps_b": [0]},
+    ))
+    net = _built_net(sc)
+    ap0 = net.aps[0].node_id
+    packet = ctrl_packet(net.controller_id, ap0, object(), 0.0)
+    before = net.backhaul.fault_dropped
+    net.backhaul.send(net.controller_id, ap0, packet)
+    assert net.backhaul.fault_dropped == before + 1
+
+
+def test_no_scenario_leaves_no_injector():
+    from repro.experiments import build_network
+
+    net = build_network(mode="wgtt")
+    assert net.fault_injector is None
+    assert net.backhaul.fault_overlay is None

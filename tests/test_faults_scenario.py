@@ -1,0 +1,178 @@
+"""Unit tests for declarative fault scenarios (repro.faults.scenario)."""
+
+import json
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultScenario, coerce_scenario
+from repro.orchestration import JobSpec, SweepSpec
+
+
+# ------------------------------------------------------------- validation
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="meteor_strike", time=1.0)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="ap_crash", time=-1.0, ap=0)
+
+
+def test_crash_requires_ap_index():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="ap_crash", time=1.0)
+
+
+def test_loss_probability_bounds():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="link_loss", time=0.0, loss_probability=1.5)
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="link_loss", time=0.0, duration_s=0.0)
+
+
+def test_end_time_open_and_closed():
+    open_ended = FaultEvent(kind="link_loss", time=2.0)
+    assert open_ended.end_time == float("inf")
+    windowed = FaultEvent(kind="link_loss", time=2.0, duration_s=3.0)
+    assert windowed.end_time == 5.0
+
+
+# ------------------------------------------------------------- round-trip
+def test_event_json_roundtrip_all_kinds():
+    for kind in FAULT_KINDS:
+        kwargs = {}
+        if kind in ("ap_crash", "ap_restart"):
+            kwargs["ap"] = 2
+        if kind in ("link_loss", "link_jitter", "partition"):
+            kwargs["aps_a"] = (0, 1)
+            kwargs["aps_b"] = (2,)
+        if kind in ("link_jitter", "ctrl_delay"):
+            kwargs["extra_latency_s"] = 0.005
+            kwargs["jitter_s"] = 0.001
+        event = FaultEvent(kind=kind, time=1.5, duration_s=2.0, **kwargs)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+def test_scenario_json_roundtrip():
+    scenario = FaultScenario(
+        events=(
+            FaultEvent(kind="ap_crash", time=3.0, ap=1, duration_s=2.0),
+            FaultEvent(kind="link_loss", time=1.0, duration_s=4.0,
+                       aps_b=(0,), loss_probability=0.3),
+        ),
+        seed=42,
+        liveness_timeout_s=0.1,
+    )
+    restored = FaultScenario.from_json(scenario.to_json())
+    assert restored == scenario
+    assert restored.seed == 42
+    assert restored.liveness_timeout_s == 0.1
+
+
+def test_events_sorted_by_time():
+    scenario = FaultScenario(events=(
+        FaultEvent(kind="ap_crash", time=5.0, ap=0),
+        FaultEvent(kind="ap_crash", time=1.0, ap=1),
+    ))
+    assert [e.time for e in scenario.events] == [1.0, 5.0]
+
+
+def test_canonical_json_is_stable():
+    a = FaultScenario.single_ap_crash(ap=3, at=2.0)
+    b = FaultScenario.from_json(a.to_json())
+    assert a.to_json() == b.to_json()
+    assert json.loads(a.to_json())  # valid JSON
+    assert a.key_hash() == b.key_hash()
+    assert len(a.key_hash()) == 10
+
+
+def test_key_hash_distinguishes_scenarios():
+    a = FaultScenario.single_ap_crash(ap=3, at=2.0)
+    b = FaultScenario.single_ap_crash(ap=4, at=2.0)
+    assert a.key_hash() != b.key_hash()
+
+
+def test_coerce_accepts_all_forms():
+    sc = FaultScenario.single_ap_crash(ap=1, at=1.0)
+    assert coerce_scenario(None) is None
+    assert coerce_scenario(sc) is sc
+    assert coerce_scenario(sc.to_json()) == sc
+    assert coerce_scenario(sc.to_dict()) == sc
+    with pytest.raises(TypeError):
+        coerce_scenario(123)
+
+
+# ------------------------------------------------------------- generators
+def test_single_ap_crash_with_restart():
+    sc = FaultScenario.single_ap_crash(ap=2, at=3.0, restart_after_s=1.5)
+    kinds = [e.kind for e in sc.events]
+    assert kinds == ["ap_crash", "ap_restart"]
+    assert sc.events[1].time == 4.5
+
+
+def test_poisson_crashes_deterministic():
+    a = FaultScenario.poisson_ap_crashes(8, 30.0, 0.05, seed=9)
+    b = FaultScenario.poisson_ap_crashes(8, 30.0, 0.05, seed=9)
+    assert a == b and a.to_json() == b.to_json()
+    c = FaultScenario.poisson_ap_crashes(8, 30.0, 0.05, seed=10)
+    assert a != c
+
+
+def test_poisson_crashes_within_duration():
+    sc = FaultScenario.poisson_ap_crashes(4, 20.0, 0.2, seed=1)
+    assert len(sc) > 0
+    for e in sc.events:
+        assert 0.0 <= e.time < 20.0
+        assert e.kind in ("ap_crash", "ap_restart")
+        assert 0 <= e.ap < 4
+
+
+def test_poisson_zero_rate_yields_empty():
+    sc = FaultScenario.poisson_ap_crashes(4, 20.0, 0.0, seed=1)
+    assert len(sc) == 0
+
+
+# ---------------------------------------------------------- orchestration
+def test_jobspec_normalises_scenario_forms():
+    sc = FaultScenario.single_ap_crash(ap=3, at=2.0)
+    jobs = [JobSpec(fault_scenario=form)
+            for form in (sc, sc.to_json(), sc.to_dict())]
+    assert jobs[0] == jobs[1] == jobs[2]
+    assert hash(jobs[0]) == hash(jobs[1])
+    assert isinstance(jobs[0].fault_scenario, str)
+
+
+def test_jobspec_key_includes_fault_hash():
+    sc = FaultScenario.single_ap_crash(ap=3, at=2.0)
+    healthy = JobSpec()
+    faulty = JobSpec(fault_scenario=sc)
+    assert healthy.key() != faulty.key()
+    assert f"fault={sc.key_hash()}" in faulty.key()
+
+
+def test_jobspec_canonical_roundtrip_with_fault():
+    sc = FaultScenario.single_ap_crash(ap=1, at=4.0, restart_after_s=2.0)
+    job = JobSpec(mode="wgtt", fault_scenario=sc)
+    restored = JobSpec.from_dict(json.loads(json.dumps(job.canonical())))
+    assert restored == job
+
+
+def test_jobspec_run_kwargs_passes_scenario():
+    sc = FaultScenario.single_ap_crash(ap=1, at=4.0)
+    job = JobSpec(fault_scenario=sc)
+    kwargs = job.run_kwargs()
+    assert kwargs["fault_scenario"] == sc.to_json()
+    assert "fault_scenario" not in JobSpec().run_kwargs()
+
+
+def test_sweepspec_applies_scenario_to_every_job():
+    sc = FaultScenario.single_ap_crash(ap=2, at=1.0)
+    spec = SweepSpec(modes=("wgtt", "baseline"), speeds_mph=(15.0,),
+                     fault_scenario=sc)
+    jobs = spec.expand()
+    assert len(jobs) == 2
+    assert all(j.fault_scenario == sc.to_json() for j in jobs)

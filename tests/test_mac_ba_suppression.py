@@ -1,6 +1,5 @@
 """Tests for responder-side BA deferral (the Table 3 mechanism)."""
 
-import numpy as np
 
 from repro.experiments import ExperimentConfig, attach_udp_uplink, build_network
 from repro.mobility import RoadLayout, StationaryTrajectory

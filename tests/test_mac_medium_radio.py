@@ -1,6 +1,5 @@
 """Integration tests for the medium + radio MAC using a mini testbed."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig, build_network

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mac.medium import Medium, MediumParams
+from repro.mac.medium import Medium
 from repro.phy.antenna import OmniAntenna, ParabolicAntenna
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder

@@ -1,7 +1,5 @@
 """Focused tests of Radio aggregation/retry logic via a tiny live net."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import ExperimentConfig, build_network
 from repro.mac.airtime import DEFAULT_TIMING, ampdu_airtime_s

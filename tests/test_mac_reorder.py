@@ -1,11 +1,8 @@
 """Unit and property tests for the receive reorder buffer."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mac.frames import SEQ_MODULO
 from repro.mac.reorder import RxReorderBuffer
 from repro.sim.engine import Simulator
 

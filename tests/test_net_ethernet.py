@@ -108,3 +108,58 @@ def test_is_registered():
     bh.register(5, lambda p, s: None)
     assert bh.is_registered(5)
     assert not bh.is_registered(6)
+
+
+# -------------------------------------------------------- per-link jitter
+def _delivery_times(seed, link_jitter_s, n=20):
+    sim, bh = make_backhaul(seed=seed, jitter_s=0.0,
+                            link_jitter_s=link_jitter_s)
+    got = []
+    bh.register(1, lambda p, s: None)
+    bh.register(2, lambda p, s: got.append(sim.now))
+    bh.register(3, lambda p, s: got.append(sim.now))
+    for i in range(n):
+        bh.send(1, 2, packet())
+        bh.send(1, 3, packet())
+    sim.run()
+    return got
+
+
+def test_link_jitter_disabled_by_default_draws_nothing():
+    """link_jitter_s=0 must not consume RNG: schedules stay bit-identical."""
+    assert _delivery_times(7, 0.0) == _delivery_times(7, 0.0)
+    sim, bh = make_backhaul(seed=7, link_jitter_s=0.0)
+    bh.register(1, lambda p, s: None)
+    bh.register(2, lambda p, s: None)
+    before = bh.rng.bit_generator.state["state"]["state"]
+    bh.send(1, 2, packet())
+    # Only the forwarding-jitter draw happened (same as without the knob).
+    sim2, bh2 = make_backhaul(seed=7)
+    bh2.register(1, lambda p, s: None)
+    bh2.register(2, lambda p, s: None)
+    bh2.send(1, 2, packet())
+    assert (bh.rng.bit_generator.state["state"]["state"]
+            == bh2.rng.bit_generator.state["state"]["state"])
+    assert before != bh.rng.bit_generator.state["state"]["state"]
+
+
+def test_link_jitter_deterministic_for_fixed_seed():
+    a = _delivery_times(3, 50e-6)
+    b = _delivery_times(3, 50e-6)
+    assert a == b
+    # A different seed draws different pair offsets.
+    c = _delivery_times(4, 50e-6)
+    assert a != c
+
+
+def test_link_jitter_offset_is_persistent_per_pair():
+    sim, bh = make_backhaul(seed=1, jitter_s=0.0, link_jitter_s=200e-6)
+    bh.register(1, lambda p, s: None)
+    bh.register(2, lambda p, s: None)
+    first = bh._link_offset(1, 2)
+    assert 0.0 <= first <= 200e-6
+    # Re-querying never redraws; the reverse direction is its own link.
+    assert bh._link_offset(1, 2) == first
+    reverse = bh._link_offset(2, 1)
+    assert bh._link_offset(2, 1) == reverse
+    assert len(bh._pair_offset) == 2

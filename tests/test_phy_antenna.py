@@ -1,6 +1,5 @@
 """Unit tests for antenna patterns."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for path loss models."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import PeriodicTask, SimulationError, Simulator, time_close
+from repro.sim.engine import SimulationError, Simulator, time_close
 
 
 def test_initial_time_is_zero():

@@ -64,3 +64,56 @@ def test_iter_records_filters():
     tr.emit(2.0, "b", n=2)
     tr.emit(3.0, "a", n=3)
     assert [r["n"] for r in tr.iter_records("a")] == [1, 3]
+
+
+# ------------------------------------------------------------ max_records
+def test_max_records_ring_eviction_boundary():
+    tr = TraceRecorder(max_records=3)
+    for i in range(3):
+        tr.emit(float(i), "k", i=i)
+    # Exactly full: nothing dropped yet.
+    assert len(tr) == 3
+    assert tr.dropped_records == 0
+    tr.emit(3.0, "k", i=3)
+    # One over: the oldest record is evicted, counters stay exact.
+    assert len(tr) == 3
+    assert tr.dropped_records == 1
+    assert [r["i"] for r in tr.records()] == [1, 2, 3]
+    assert tr.count("k") == 4
+
+
+def test_max_records_zero_stores_nothing_counts_everything():
+    tr = TraceRecorder(max_records=0)
+    tr.emit(1.0, "a")
+    tr.emit(2.0, "b")
+    assert len(tr) == 0
+    assert tr.dropped_records == 2
+    assert tr.count("a") == 1 and tr.count("b") == 1
+
+
+def test_max_records_interacts_with_keep_kinds():
+    tr = TraceRecorder(keep_kinds={"keep"}, max_records=2)
+    for i in range(5):
+        tr.emit(float(i), "keep", i=i)
+        tr.emit(float(i), "drop", i=i)
+    # Filtered kinds never enter the ring, so they cannot evict.
+    assert [r["i"] for r in tr.records()] == [3, 4]
+    assert tr.dropped_records == 3
+    assert tr.count("drop") == 5
+
+
+def test_max_records_clear_resets_drop_counter():
+    tr = TraceRecorder(max_records=1)
+    tr.emit(1.0, "a")
+    tr.emit(2.0, "a")
+    assert tr.dropped_records == 1
+    tr.clear()
+    assert tr.dropped_records == 0
+    assert len(tr) == 0
+
+
+def test_max_records_negative_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TraceRecorder(max_records=-1)

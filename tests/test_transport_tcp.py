@@ -1,6 +1,5 @@
 """TCP tests over a controllable lossy pipe (no radio involved)."""
 
-import math
 
 import numpy as np
 import pytest
