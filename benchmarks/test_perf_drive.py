@@ -1,0 +1,60 @@
+"""End-to-end drive perf benchmark: events/sec through the full stack.
+
+Runs one short default drive (WGTT controller, TCP, fixed seed), records
+wall clock, simulator events/sec, and the fast-path perf counters, and
+writes ``BENCH_drive.json`` at the repo root.  No speed threshold is
+asserted -- absolute drive speed varies with hardware -- only sanity
+(the drive ran, delivered traffic, and the fast-path counters fired).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments import run_single_drive
+from repro.perf import PERF
+
+from test_perf_phy import REPO_ROOT, bench_metadata
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_drive.json")
+
+
+def test_drive_perf():
+    PERF.reset()
+    t0 = time.perf_counter()
+    result = run_single_drive(mode="wgtt", speed_mph=15.0, traffic="tcp", seed=0)
+    wall_s = time.perf_counter() - t0
+    events = PERF.get("drive.events")
+    snap = PERF.snapshot()
+
+    bench = {
+        "meta": bench_metadata(),
+        "benchmark": "drive_end_to_end",
+        "mode": "wgtt",
+        "speed_mph": 15.0,
+        "traffic": "tcp",
+        "seed": 0,
+        "duration_s": result.duration_s,
+        "wall_clock_s": wall_s,
+        "events_fired": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "throughput_mbps": result.throughput_mbps,
+        "perf_counters": snap["counters"],
+        "perf_timers_s": snap["timers_s"],
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(bench, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\ndrive: {events:,} events in {wall_s:.1f}s "
+          f"({events / wall_s:,.0f} events/s), "
+          f"{result.throughput_mbps:.1f} Mb/s "
+          f"(wrote {os.path.basename(BENCH_PATH)})")
+
+    assert events > 0
+    assert result.throughput_mbps > 0.0
+    # The fast path actually ran: LUT inversions and tap-kernel points.
+    assert PERF.get("esnr.invert_lut") > 0
+    assert PERF.get("phy.tap_eval_points") > 0

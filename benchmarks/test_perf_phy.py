@@ -1,0 +1,142 @@
+"""PHY fast-path microbenchmark: batched kernels vs the scalar reference.
+
+Measures the per-point cost of
+
+* CSI (subcarrier gains): Python loop over ``RayleighTap.gain`` + per-t
+  steering matvec (the pre-PR scalar path) vs ``subcarrier_gains_at``;
+* ESNR: per-point BER averaging + ``invert_ber_bisect`` vs
+  ``effective_snr_db_batch`` with LUT inversion;
+
+asserts the batched path is at least 3x faster end to end, and writes
+``BENCH_phy.json`` at the repo root with commit-identifiable metadata so
+perf can be compared across commits (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+
+import numpy as np
+
+from repro.phy.esnr import (
+    effective_snr_db_batch,
+    invert_ber_bisect,
+    subcarrier_snr_db_from_csi,
+)
+from repro.phy.fading import TappedDelayChannel
+from repro.phy.modulation import (
+    BER_FUNCTIONS,
+    Constellation,
+    db_to_linear,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_phy.json")
+
+N_POINTS = 2000
+MIN_SPEEDUP = 3.0
+
+
+def bench_metadata() -> dict:
+    """Commit-identifiable environment stamp shared by all BENCH files."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    try:
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip())
+    except Exception:
+        dirty = None
+    return {
+        "commit": commit,
+        "dirty": dirty,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def _scalar_csi(channel: TappedDelayChannel, ts: np.ndarray) -> np.ndarray:
+    """The pre-PR per-timestamp path: per-tap gain loop + steering matvec."""
+    out = np.empty((ts.size, channel.n_subcarriers), dtype=complex)
+    for i, t in enumerate(ts):
+        gains = np.array(
+            [tap.gain(float(t)) for tap in channel.taps], dtype=complex
+        )
+        out[i] = channel._steering @ gains
+    return out
+
+
+def _scalar_esnr(snr_2d: np.ndarray, constellation: str) -> np.ndarray:
+    """Per-point BER averaging + bisection inversion (the pre-PR path)."""
+    ber_fn = BER_FUNCTIONS[constellation]
+    out = np.empty(snr_2d.shape[0])
+    for i, row in enumerate(snr_2d):
+        mean_ber = float(np.mean(ber_fn(db_to_linear(row))))
+        out[i] = invert_ber_bisect(mean_ber, constellation)
+    return out
+
+
+def test_phy_fast_path_speedup():
+    channel = TappedDelayChannel(np.random.default_rng(0), 92.0, rician_k=4.0)
+    ts = np.linspace(0.0, 8.0, N_POINTS)
+    constellation = Constellation.QAM64
+
+    # Warm both paths (LUT construction, numpy kernel compilation).
+    channel.subcarrier_gains_at(ts[:8])
+    _scalar_csi(channel, ts[:8])
+
+    t0 = time.perf_counter()
+    csi_scalar = _scalar_csi(channel, ts)
+    snr_scalar = subcarrier_snr_db_from_csi(csi_scalar, 30.0)
+    esnr_scalar = _scalar_esnr(snr_scalar, constellation)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    csi_batch = channel.subcarrier_gains_at(ts)
+    snr_batch = subcarrier_snr_db_from_csi(csi_batch, 30.0)
+    esnr_batch = effective_snr_db_batch(snr_batch, constellation)
+    batched_s = time.perf_counter() - t0
+
+    # Same numbers, much faster: the speedup claim is only meaningful
+    # because the outputs are identical.
+    assert np.array_equal(csi_batch, csi_scalar)
+    assert np.array_equal(esnr_batch, esnr_scalar)
+
+    speedup = scalar_s / batched_s
+    result = {
+        "meta": bench_metadata(),
+        "benchmark": "phy_fast_path",
+        "n_points": N_POINTS,
+        "n_subcarriers": channel.n_subcarriers,
+        "constellation": constellation,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_us_per_point": 1e6 * scalar_s / N_POINTS,
+        "batched_us_per_point": 1e6 * batched_s / N_POINTS,
+        "speedup": speedup,
+        "min_speedup_required": MIN_SPEEDUP,
+        "outputs_bit_identical": True,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\nPHY fast path: scalar {1e6 * scalar_s / N_POINTS:.1f} us/pt, "
+          f"batched {1e6 * batched_s / N_POINTS:.1f} us/pt "
+          f"-> {speedup:.1f}x (wrote {os.path.basename(BENCH_PATH)})")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched PHY path only {speedup:.2f}x faster than scalar "
+        f"(required {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    )

@@ -1,0 +1,84 @@
+"""Canonical digests of drive results for bit-exactness regression tests.
+
+The PHY fast path (vectorized fading kernels, LUT BER inversion,
+link-level memoization) is only admissible if a default drive produces
+*bit-identical* results to the scalar reference implementation.  These
+helpers reduce a drive to stable hex digests so that equality can be
+asserted across commits: every float is serialised via ``float.hex()``,
+so two digests match iff every delivery time/size and every trace record
+is identical down to the last ulp.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = [
+    "canonical_repr",
+    "deliveries_digest",
+    "trace_digest",
+    "drive_digests",
+]
+
+
+def canonical_repr(value: Any) -> str:
+    """A platform-stable, bit-exact string form of a result value.
+
+    Floats use ``float.hex()`` (lossless); numpy scalars are converted to
+    their Python equivalents; containers recurse with dict keys sorted.
+    """
+    # Numpy scalars expose .item(); convert before type dispatch.
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            value = value.item()
+        except (AttributeError, ValueError):
+            pass
+    if isinstance(value, bool) or value is None:
+        return repr(value)
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical_repr(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        return "{" + ",".join(
+            f"{canonical_repr(k)}:{canonical_repr(v)}" for k, v in items
+        ) + "}"
+    return repr(value)
+
+
+def deliveries_digest(deliveries: Iterable[Tuple[float, int]]) -> str:
+    """SHA-256 over the exact (time, bytes) delivery sequence."""
+    h = hashlib.sha256()
+    for t, nbytes in deliveries:
+        h.update(canonical_repr((float(t), int(nbytes))).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def trace_digest(trace) -> str:
+    """SHA-256 over every stored trace record (time, kind, fields)."""
+    h = hashlib.sha256()
+    for record in trace.records():
+        h.update(canonical_repr(
+            (float(record.time), record.kind, record.fields)
+        ).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def drive_digests(result) -> Dict[str, Any]:
+    """Digest bundle for a :class:`~repro.experiments.runners.DriveResult`."""
+    return {
+        "deliveries": deliveries_digest(result.deliveries),
+        "trace": trace_digest(result.trace),
+        "n_deliveries": len(result.deliveries),
+        "n_trace_records": len(result.trace),
+        "throughput_hex": float(result.throughput_mbps).hex(),
+        "events_fired": result.net.sim.events_fired,
+    }

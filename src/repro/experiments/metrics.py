@@ -20,6 +20,7 @@ __all__ = [
     "mean_throughput_mbps",
     "cdf",
     "ServingTimeline",
+    "esnr_matrix",
     "switching_accuracy",
     "capacity_loss_rate",
     "optimal_ap_series",
@@ -108,6 +109,18 @@ class ServingTimeline:
         return out
 
 
+def esnr_matrix(
+    links: Sequence[Link], ts: np.ndarray, uplink: bool = False
+) -> np.ndarray:
+    """Per-link ESNR sampled at ``ts``: shape (len(links), len(ts)).
+
+    One batched PHY-kernel evaluation per link instead of a Python loop
+    over timestamps; each entry is bit-identical to
+    ``link.esnr_db(float(t))``.
+    """
+    return np.stack([link.esnr_db_at(ts, uplink=uplink) for link in links])
+
+
 def optimal_ap_series(
     links: Sequence[Link],
     ap_ids: Sequence[int],
@@ -120,12 +133,15 @@ def optimal_ap_series(
     The 'optimal' AP is the one with maximum instantaneous ESNR, exactly
     the oracle Table 2 measures switching accuracy against.
     """
-    out = []
-    for t in np.arange(t0, t1, sample_s):
-        esnrs = [link.esnr_db(float(t)) for link in links]
-        best = int(np.argmax(esnrs))
-        out.append((float(t), ap_ids[best], float(esnrs[best])))
-    return out
+    ts = np.arange(t0, t1, sample_s)
+    if ts.size == 0:
+        return []
+    esnrs = esnr_matrix(links, ts)
+    best = np.argmax(esnrs, axis=0)
+    return [
+        (float(t), ap_ids[int(b)], float(esnrs[int(b), i]))
+        for i, (t, b) in enumerate(zip(ts, best))
+    ]
 
 
 def switching_accuracy(
@@ -143,19 +159,20 @@ def switching_accuracy(
     ``tolerance_db`` of the best AP's (ties in a fading channel are
     physically meaningless distinctions).
     """
+    ts = np.arange(t0, t1, sample_s)
+    if ts.size == 0:
+        return 0.0
+    esnrs = esnr_matrix(links, ts)
+    best = np.max(esnrs, axis=0)
+    index_of = {ap_id: i for i, ap_id in enumerate(ap_ids)}
     hits = 0
-    total = 0
-    for t in np.arange(t0, t1, sample_s):
+    for i, t in enumerate(ts):
         serving = timeline.ap_at(float(t))
-        if serving is None:
-            total += 1
+        if serving is None or serving not in index_of:
             continue
-        esnrs = {ap_id: link.esnr_db(float(t)) for ap_id, link in zip(ap_ids, links)}
-        best = max(esnrs.values())
-        total += 1
-        if serving in esnrs and esnrs[serving] >= best - tolerance_db:
+        if esnrs[index_of[serving], i] >= best[i] - tolerance_db:
             hits += 1
-    return hits / total if total else 0.0
+    return hits / ts.size
 
 
 def capacity_loss_rate(
@@ -171,15 +188,17 @@ def capacity_loss_rate(
     This is the metric of the window-size microbenchmark (Fig. 21) and
     the shaded capacity-loss areas of Fig. 4, normalised to a rate.
     """
+    ts = np.arange(t0, t1, sample_s)
+    if ts.size == 0:
+        return 0.0
+    caps = np.stack([link.capacity_mbps_at(ts) for link in links])
+    best_total = float(np.sum(np.max(caps, axis=0)))
+    index_of = {ap_id: i for i, ap_id in enumerate(ap_ids)}
     chosen_total = 0.0
-    best_total = 0.0
-    link_by_ap = dict(zip(ap_ids, links))
-    for t in np.arange(t0, t1, sample_s):
-        caps = {ap_id: link.capacity_mbps(float(t)) for ap_id, link in link_by_ap.items()}
-        best_total += max(caps.values())
+    for i, t in enumerate(ts):
         serving = timeline.ap_at(float(t))
-        if serving is not None and serving in caps:
-            chosen_total += caps[serving]
+        if serving is not None and serving in index_of:
+            chosen_total += float(caps[index_of[serving], i])
     if best_total <= 0.0:
         return 0.0
     return max(0.0, 1.0 - chosen_total / best_total)

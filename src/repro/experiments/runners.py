@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 
 from ..core.client import MobileClient
+from ..perf import PERF
 from ..mobility.trajectory import (
     LinearTrajectory,
     RoadLayout,
@@ -215,7 +216,9 @@ def run_single_drive(
         raise ValueError(f"unknown traffic type {traffic!r}")
 
     net.sim.schedule(traffic_start_s, start)
-    net.run(until=duration_s)
+    with PERF.timer("drive.run"):
+        net.run(until=duration_s)
+    PERF.count("drive.events", net.sim.events_fired)
 
     t0, t1 = traffic_start_s + warmup_s, duration_s
     deliveries = deliveries_fn()

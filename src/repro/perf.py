@@ -1,0 +1,121 @@
+"""Lightweight performance observability: counters and wall-clock timers.
+
+The PHY fast path earns its keep only if we can *see* it working: how
+many tap-gain kernel evaluations a drive performs, how often the BER
+inversion takes the LUT path instead of bisection, and how often the
+link-level memo serves a repeated same-timestamp query for free.  This
+module is the single place those numbers accumulate.
+
+Counters are always on -- a dict increment costs nanoseconds next to the
+microseconds of numpy work it instruments -- so ``--profile`` on the CLI
+is purely a *reporting* flag, not a behaviour switch: profiled and
+unprofiled runs execute identical code and stay bit-identical.
+
+Usage::
+
+    from repro.perf import PERF
+
+    PERF.count("phy.tap_eval_points", n)
+    with PERF.timer("drive.run"):
+        net.run(until=10.0)
+
+    print(PERF.report())
+    PERF.reset()
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+__all__ = ["PerfRegistry", "PERF", "perf_snapshot", "perf_reset"]
+
+
+class PerfRegistry:
+    """Accumulates named counters and named wall-clock timers."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers_s: Dict[str, float] = {}
+        self.timer_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- counters
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # --------------------------------------------------------------- timers
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating elapsed wall-clock time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.timers_s[name] = self.timers_s.get(name, 0.0) + elapsed
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + 1
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record externally-measured time (e.g. from a worker process)."""
+        self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
+        self.timer_calls[name] = self.timer_calls.get(name, 0) + calls
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers_s.clear()
+        self.timer_calls.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serialisable copy of everything accumulated so far."""
+        return {
+            "counters": dict(self.counters),
+            "timers_s": dict(self.timers_s),
+            "timer_calls": dict(self.timer_calls),
+        }
+
+    # ------------------------------------------------------------ reporting
+    def hit_rate(self, hits: str, misses: str) -> Optional[float]:
+        """hits / (hits + misses), or None if neither counter fired."""
+        h, m = self.get(hits), self.get(misses)
+        if h + m == 0:
+            return None
+        return h / (h + m)
+
+    def report(self, title: str = "perf") -> str:
+        """Human-readable multi-line report of all counters and timers."""
+        lines = [f"--- {title} ---"]
+        for name in sorted(self.counters):
+            lines.append(f"{name:<36} {self.counters[name]:>12,}")
+        for name in sorted(self.timers_s):
+            total = self.timers_s[name]
+            calls = self.timer_calls.get(name, 0)
+            per = f" ({1e6 * total / calls:.1f} us/call)" if calls else ""
+            lines.append(f"{name:<36} {total:>11.3f}s x{calls}{per}")
+        for label, hits, misses in (
+            ("link.memo hit rate", "link.memo_hits", "link.memo_misses"),
+            ("esnr.lut share", "esnr.invert_lut", "esnr.invert_bisect"),
+        ):
+            rate = self.hit_rate(hits, misses)
+            if rate is not None:
+                lines.append(f"{label:<36} {100.0 * rate:>11.1f}%")
+        return "\n".join(lines)
+
+
+#: Process-global registry every instrumented module reports into.
+PERF = PerfRegistry()
+
+
+def perf_snapshot() -> Dict[str, object]:
+    """Snapshot of the global registry."""
+    return PERF.snapshot()
+
+
+def perf_reset() -> None:
+    """Reset the global registry (start of a profiled run)."""
+    PERF.reset()

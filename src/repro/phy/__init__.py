@@ -9,13 +9,20 @@ substitution rationale.
 from .antenna import OmniAntenna, ParabolicAntenna, angle_between_deg
 from .channel import Link, RadioParams
 from .csi import CSIReading
-from .esnr import effective_snr_db, invert_ber
+from .esnr import (
+    effective_snr_db,
+    effective_snr_db_batch,
+    invert_ber,
+    invert_ber_batch,
+    invert_ber_bisect,
+)
 from .fading import (
     TappedDelayChannel,
     RayleighTap,
     coherence_time_s,
     doppler_hz,
     ht20_subcarrier_freqs,
+    steering_matrix,
 )
 from .mcs import (
     MCS_TABLE,
@@ -45,12 +52,16 @@ __all__ = [
     "RadioParams",
     "CSIReading",
     "effective_snr_db",
+    "effective_snr_db_batch",
     "invert_ber",
+    "invert_ber_batch",
+    "invert_ber_bisect",
     "TappedDelayChannel",
     "RayleighTap",
     "coherence_time_s",
     "doppler_hz",
     "ht20_subcarrier_freqs",
+    "steering_matrix",
     "MCS_TABLE",
     "McsEntry",
     "best_mcs_for_esnr",

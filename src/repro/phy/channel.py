@@ -12,15 +12,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..perf import PERF
 from .antenna import OmniAntenna, ParabolicAntenna
 from .csi import CSIReading
-from .esnr import DEFAULT_ESNR_CONSTELLATION, effective_snr_db, subcarrier_snr_db_from_csi
+from .esnr import (
+    DEFAULT_ESNR_CONSTELLATION,
+    effective_snr_db,
+    effective_snr_db_batch,
+    subcarrier_snr_db_from_csi,
+)
 from .fading import TappedDelayChannel, doppler_hz
-from .mcs import McsEntry, link_capacity_mbps, pdr
+from .mcs import MCS_TABLE, McsEntry, link_capacity_mbps, pdr
+from .modulation import linear_to_db
 from .pathloss import LogDistancePathLoss
 
 __all__ = ["RadioParams", "Link"]
@@ -81,6 +88,7 @@ class Link:
         rng: np.random.Generator,
         params: Optional[RadioParams] = None,
         n_subcarriers: int = 56,
+        memoize: bool = True,
     ):
         self.params = params or RadioParams()
         self.ap_position = ap_position
@@ -108,6 +116,30 @@ class Link:
         else:
             self.shadowing = None
         self.n_subcarriers = n_subcarriers
+        # Exact-timestamp memoisation: one MAC event evaluates several
+        # derived quantities (CSI, mean SNR, ESNR, ...) at the *identical*
+        # simulation time -- e.g. ``mpdu_success_probability`` and
+        # ``measure_csi`` for the same uplink frame.  The channel is a pure
+        # function of time, so repeats at the cached timestamp are free and
+        # bit-identical; any new timestamp invalidates the (single-time)
+        # cache, keeping memory O(1) per link.
+        self.memoize = memoize
+        self._memo_t: Optional[float] = None
+        self._memo: Dict[Tuple, object] = {}
+
+    def _memoized(self, key: Tuple, t: float, compute):
+        if not self.memoize:
+            return compute()
+        if t != self._memo_t:
+            self._memo_t = t
+            self._memo.clear()
+        elif key in self._memo:
+            PERF.count("link.memo_hits")
+            return self._memo[key]
+        PERF.count("link.memo_misses")
+        value = compute()
+        self._memo[key] = value
+        return value
 
     # ------------------------------------------------------------ large scale
     def distance_m(self, t: float) -> float:
@@ -121,6 +153,11 @@ class Link:
         The channel is reciprocal; uplink and downlink differ only in
         transmit power (client radios transmit at lower power).
         """
+        return self._memoized(
+            ("mean_snr", uplink), t, lambda: self._mean_snr_db(t, uplink)
+        )
+
+    def _mean_snr_db(self, t: float, uplink: bool) -> float:
         client_pos = self.client_position_fn(t)
         tx_power = (
             self.params.client_tx_power_dbm if uplink else self.params.ap_tx_power_dbm
@@ -140,12 +177,22 @@ class Link:
     # ------------------------------------------------------------ small scale
     def csi(self, t: float) -> np.ndarray:
         """Instantaneous complex subcarrier gains (unit mean power)."""
-        return self.fading.subcarrier_gains(t)
+        def compute():
+            gains = self.fading.subcarrier_gains(t)
+            gains.setflags(write=False)  # memoised value is shared
+            return gains
+
+        return self._memoized(("csi",), t, compute)
 
     def subcarrier_snr_db(self, t: float, uplink: bool = False) -> np.ndarray:
-        return subcarrier_snr_db_from_csi(
-            self.csi(t), self.mean_snr_db(t, uplink=uplink)
-        )
+        def compute():
+            snr = subcarrier_snr_db_from_csi(
+                self.csi(t), self.mean_snr_db(t, uplink=uplink)
+            )
+            snr.setflags(write=False)
+            return snr
+
+        return self._memoized(("sub_snr", uplink), t, compute)
 
     def esnr_db(
         self,
@@ -154,8 +201,11 @@ class Link:
         constellation: str = DEFAULT_ESNR_CONSTELLATION,
     ) -> float:
         """Instantaneous effective SNR of the link."""
-        return effective_snr_db(
-            self.subcarrier_snr_db(t, uplink=uplink), constellation
+        return self._memoized(
+            ("esnr", uplink, constellation), t,
+            lambda: effective_snr_db(
+                self.subcarrier_snr_db(t, uplink=uplink), constellation
+            ),
         )
 
     def rssi_db(self, t: float, uplink: bool = False) -> float:
@@ -164,15 +214,72 @@ class Link:
         This is the quantity a beacon-scanning client observes -- blind to
         frequency selectivity, which is the baseline's handicap.
         """
-        from .modulation import linear_to_db
+        def compute():
+            h = self.fading.flat_gain(t)
+            power = max(abs(h) ** 2, 1e-12)
+            return self.mean_snr_db(t, uplink=uplink) + float(linear_to_db(power))
 
-        h = self.fading.flat_gain(t)
-        power = max(abs(h) ** 2, 1e-12)
-        return self.mean_snr_db(t, uplink=uplink) + float(linear_to_db(power))
+        return self._memoized(("rssi", uplink), t, compute)
 
     def capacity_mbps(self, t: float) -> float:
         """Ideal-rate-control expected PHY throughput right now (downlink)."""
         return link_capacity_mbps(self.esnr_db(t))
+
+    # ------------------------------------------------------------ batched
+    def csi_at(self, ts) -> np.ndarray:
+        """CSI at a batch of timestamps: shape (len(ts), n_subcarriers)."""
+        return self.fading.subcarrier_gains_at(ts)
+
+    def mean_snr_db_at(self, ts, uplink: bool = False) -> np.ndarray:
+        """Large-scale mean SNR at a batch of timestamps."""
+        return np.array(
+            [self._mean_snr_db(float(t), uplink) for t in np.asarray(ts, dtype=float)]
+        )
+
+    def subcarrier_snr_db_at(self, ts, uplink: bool = False) -> np.ndarray:
+        """Per-subcarrier SNR at a batch of timestamps: (len(ts), n_subcarriers).
+
+        Row ``i`` is bit-identical to ``subcarrier_snr_db(ts[i], uplink)``.
+        """
+        csi = self.csi_at(ts)
+        mean_snr = self.mean_snr_db_at(ts, uplink=uplink)
+        return subcarrier_snr_db_from_csi(csi, mean_snr[:, None])
+
+    def esnr_db_at(
+        self,
+        ts,
+        uplink: bool = False,
+        constellation: str = DEFAULT_ESNR_CONSTELLATION,
+    ) -> np.ndarray:
+        """Effective SNR at a batch of timestamps (bit-identical per element).
+
+        This is the fast path for the metrics/CLI sampling loops, which
+        previously paid the full scalar PHY stack once per sample.
+        """
+        return effective_snr_db_batch(
+            self.subcarrier_snr_db_at(ts, uplink=uplink), constellation
+        )
+
+    def capacity_mbps_at(self, ts) -> np.ndarray:
+        """Ideal-rate-control capacity at a batch of timestamps (downlink).
+
+        Vectorises :func:`repro.phy.mcs.link_capacity_mbps` over the MCS
+        table.  The ESNR input is bit-identical to the scalar path; the
+        logistic itself goes through ``np.exp`` rather than ``math.exp``,
+        which can differ in the last ulp, so compare against
+        ``capacity_mbps(t)`` with a tolerance, not exact equality.
+        """
+        esnr = self.esnr_db_at(ts)
+        best = np.zeros(esnr.shape, dtype=float)
+        for mcs in MCS_TABLE:
+            x = (esnr - mcs.pdr_threshold_db) / mcs.pdr_scale_db
+            rate = np.where(
+                x > 35.0, mcs.phy_rate_mbps,
+                np.where(x < -35.0, 0.0,
+                         mcs.phy_rate_mbps / (1.0 + np.exp(-x))),
+            )
+            np.maximum(best, rate, out=best)
+        return best
 
     # ------------------------------------------------------- packet delivery
     def mpdu_success_probability(

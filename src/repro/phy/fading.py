@@ -19,9 +19,12 @@ only pays for fading computation when a frame or CSI sample needs it.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..perf import PERF
 
 __all__ = [
     "doppler_hz",
@@ -30,6 +33,8 @@ __all__ = [
     "TappedDelayChannel",
     "DEFAULT_TAP_DELAYS_NS",
     "DEFAULT_TAP_POWERS_DB",
+    "ht20_subcarrier_freqs",
+    "steering_matrix",
 ]
 
 # Small-cell roadside environment: short delay spread, similar to indoor
@@ -111,7 +116,12 @@ class RayleighTap:
         self._los_phase = rng.uniform(0.0, 2.0 * np.pi)
 
     def gain(self, t: float) -> complex:
-        """Complex tap gain at time ``t`` (seconds)."""
+        """Complex tap gain at time ``t`` (seconds).
+
+        This is the scalar *reference* implementation; the hot path goes
+        through the stacked kernel in :class:`TappedDelayChannel`, which is
+        bit-identical (locked in by ``tests/test_phy_fastpath.py``).
+        """
         angles = self._omega * t + self._phase
         scattered = self._amplitude * complex(
             float(np.sum(np.cos(angles))), float(np.sum(np.sin(angles)))
@@ -131,7 +141,18 @@ class TappedDelayChannel:
     subcarrier, normalised so the *expected* per-subcarrier power is one --
     path loss and antenna gain are applied separately by
     :class:`repro.phy.channel.Link`.
+
+    All per-tap sinusoid parameters are stacked into ``(n_taps,
+    n_sinusoids)`` arrays at construction, so a gain query is one ``cos`` /
+    ``sin`` kernel evaluation instead of a Python loop over taps, and the
+    batched ``*_at(ts)`` variants amortise that kernel over many
+    timestamps at once (the metrics/CLI sampling loops).  Every variant is
+    bit-identical to the scalar :meth:`RayleighTap.gain` reference.
     """
+
+    #: Timestamps per chunk in the batched kernels; bounds the (chunk,
+    #: n_taps, n_sinusoids) temporary to a few MB regardless of batch size.
+    BATCH_CHUNK = 16384
 
     def __init__(
         self,
@@ -150,6 +171,8 @@ class TappedDelayChannel:
         self.doppler_hz = doppler_hz
         self.rician_k = rician_k
         # Only the first (direct-path) tap carries the LoS component.
+        # RayleighTap draws from ``rng`` in the exact same order as the
+        # scalar implementation always has, so seeded channels reproduce.
         self.taps = [
             RayleighTap(
                 rng, doppler_hz, power=p, n_sinusoids=n_sinusoids,
@@ -157,14 +180,21 @@ class TappedDelayChannel:
             )
             for i, p in enumerate(powers)
         ]
+        # Stacked kernel parameters: one trig evaluation covers all taps.
+        self._omegas = np.stack([tap._omega for tap in self.taps])
+        self._phases = np.stack([tap._phase for tap in self.taps])
+        self._amps = np.array([tap._amplitude for tap in self.taps])
+        self._los_amps = np.array([tap._los_amp for tap in self.taps])
+        self._los_omegas = np.array([tap._los_omega for tap in self.taps])
+        self._los_phases = np.array([tap._los_phase for tap in self.taps])
+        self._los_idx = np.flatnonzero(self._los_amps > 0.0)
         self._delays_s = np.asarray(tap_delays_ns, dtype=float) * 1e-9
         if subcarrier_freqs_hz is None:
             subcarrier_freqs_hz = ht20_subcarrier_freqs()
         self.subcarrier_freqs_hz = subcarrier_freqs_hz
-        # Precompute the (n_subcarriers x n_taps) steering matrix.
-        self._steering = np.exp(
-            -2j * np.pi * np.outer(subcarrier_freqs_hz, self._delays_s)
-        )
+        # (n_subcarriers x n_taps) steering matrix, shared across all links
+        # with the same subcarrier grid and delay profile.
+        self._steering = steering_matrix(subcarrier_freqs_hz, self._delays_s)
 
     @property
     def n_subcarriers(self) -> int:
@@ -172,7 +202,40 @@ class TappedDelayChannel:
 
     def tap_gains(self, t: float) -> np.ndarray:
         """Complex gain of every tap at time ``t``."""
-        return np.array([tap.gain(t) for tap in self.taps], dtype=complex)
+        PERF.count("phy.tap_eval_points")
+        angles = self._omegas * t + self._phases
+        gains = np.empty(len(self.taps), dtype=complex)
+        gains.real = self._amps * np.sum(np.cos(angles), axis=1)
+        gains.imag = self._amps * np.sum(np.sin(angles), axis=1)
+        idx = self._los_idx
+        if idx.size:
+            los_angles = self._los_omegas[idx] * t + self._los_phases[idx]
+            gains.real[idx] += self._los_amps[idx] * np.cos(los_angles)
+            gains.imag[idx] += self._los_amps[idx] * np.sin(los_angles)
+        return gains
+
+    def tap_gains_at(self, ts) -> np.ndarray:
+        """Complex tap gains at a batch of timestamps: shape (len(ts), n_taps)."""
+        ts = np.asarray(ts, dtype=float)
+        if ts.ndim != 1:
+            raise ValueError("tap_gains_at expects a 1-D array of timestamps")
+        PERF.count("phy.tap_eval_points", ts.size)
+        n_taps = len(self.taps)
+        gains = np.empty((ts.size, n_taps), dtype=complex)
+        idx = self._los_idx
+        for lo in range(0, ts.size, self.BATCH_CHUNK):
+            hi = min(lo + self.BATCH_CHUNK, ts.size)
+            chunk = ts[lo:hi]
+            angles = (self._omegas[None, :, :] * chunk[:, None, None]
+                      + self._phases[None, :, :])
+            gains.real[lo:hi] = self._amps * np.sum(np.cos(angles), axis=2)
+            gains.imag[lo:hi] = self._amps * np.sum(np.sin(angles), axis=2)
+            if idx.size:
+                los_angles = (self._los_omegas[idx][None, :] * chunk[:, None]
+                              + self._los_phases[idx][None, :])
+                gains.real[lo:hi, idx] += self._los_amps[idx] * np.cos(los_angles)
+                gains.imag[lo:hi, idx] += self._los_amps[idx] * np.sin(los_angles)
+        return gains
 
     def subcarrier_gains(self, t: float) -> np.ndarray:
         """Complex gain on every subcarrier at time ``t``.
@@ -181,14 +244,60 @@ class TappedDelayChannel:
         """
         return self._steering @ self.tap_gains(t)
 
+    def subcarrier_gains_at(self, ts) -> np.ndarray:
+        """Subcarrier gains at a batch of timestamps: (len(ts), n_subcarriers).
+
+        Uses a broadcast matmul that is bit-identical to evaluating
+        ``steering @ tap_gains(t)`` timestamp by timestamp.
+        """
+        gains = self.tap_gains_at(ts)
+        return np.matmul(self._steering[None, :, :], gains[:, :, None])[:, :, 0]
+
     def flat_gain(self, t: float) -> complex:
         """Wideband (frequency-flat) gain: the tap sum without dispersion."""
         return complex(np.sum(self.tap_gains(t)))
 
+    def flat_gains_at(self, ts) -> np.ndarray:
+        """Wideband gains at a batch of timestamps: shape (len(ts),)."""
+        return np.sum(self.tap_gains_at(ts), axis=1)
 
+
+@lru_cache(maxsize=8)
 def ht20_subcarrier_freqs(n_subcarriers: int = 56, spacing_hz: float = 312_500.0) -> np.ndarray:
-    """Baseband frequencies of the 56 occupied HT20 subcarriers (-28..28, no DC)."""
+    """Baseband frequencies of the 56 occupied HT20 subcarriers (-28..28, no DC).
+
+    Memoised: every link shares one immutable frequency grid instead of
+    rebuilding it per :class:`~repro.phy.channel.Link` (one per AP x client).
+    """
     idx = np.concatenate(
         [np.arange(-n_subcarriers // 2, 0), np.arange(1, n_subcarriers // 2 + 1)]
     )
-    return idx * spacing_hz
+    freqs = idx * spacing_hz
+    freqs.setflags(write=False)
+    return freqs
+
+
+#: Shared steering matrices keyed by (subcarrier freqs, tap delays).
+_STEERING_CACHE: Dict[Tuple[bytes, bytes], np.ndarray] = {}
+
+
+def steering_matrix(subcarrier_freqs_hz: np.ndarray, delays_s: np.ndarray) -> np.ndarray:
+    """The (n_subcarriers x n_taps) matrix ``exp(-j*2*pi*f_k*tau_l)``.
+
+    Cached by content: every link with the same subcarrier grid and delay
+    profile (i.e. all of them, in a standard deployment) shares one
+    immutable matrix instead of rebuilding an identical 56x4 complex array
+    per AP x client pair.
+    """
+    freqs = np.asarray(subcarrier_freqs_hz, dtype=float)
+    delays = np.asarray(delays_s, dtype=float)
+    key = (freqs.tobytes(), delays.tobytes())
+    cached = _STEERING_CACHE.get(key)
+    if cached is None:
+        PERF.count("phy.steering_builds")
+        cached = np.exp(-2j * np.pi * np.outer(freqs, delays))
+        cached.setflags(write=False)
+        _STEERING_CACHE[key] = cached
+    else:
+        PERF.count("phy.steering_cache_hits")
+    return cached

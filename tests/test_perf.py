@@ -1,0 +1,93 @@
+"""Unit tests for the perf observability registry."""
+
+import time
+
+from repro.perf import PERF, PerfRegistry, perf_reset, perf_snapshot
+
+
+def test_count_accumulates():
+    reg = PerfRegistry()
+    reg.count("a")
+    reg.count("a", 5)
+    assert reg.get("a") == 6
+    assert reg.get("missing") == 0
+
+
+def test_timer_accumulates_time_and_calls():
+    reg = PerfRegistry()
+    for _ in range(3):
+        with reg.timer("work"):
+            time.sleep(0.001)
+    assert reg.timer_calls["work"] == 3
+    assert reg.timers_s["work"] >= 0.003
+
+
+def test_timer_records_on_exception():
+    reg = PerfRegistry()
+    try:
+        with reg.timer("boom"):
+            raise RuntimeError("expected")
+    except RuntimeError:
+        pass
+    assert reg.timer_calls["boom"] == 1
+
+
+def test_add_time():
+    reg = PerfRegistry()
+    reg.add_time("worker", 1.5, calls=4)
+    reg.add_time("worker", 0.5)
+    assert reg.timers_s["worker"] == 2.0
+    assert reg.timer_calls["worker"] == 5
+
+
+def test_reset_clears_everything():
+    reg = PerfRegistry()
+    reg.count("a")
+    with reg.timer("t"):
+        pass
+    reg.reset()
+    assert reg.counters == {}
+    assert reg.timers_s == {}
+    assert reg.timer_calls == {}
+
+
+def test_snapshot_is_a_copy():
+    reg = PerfRegistry()
+    reg.count("a", 2)
+    snap = reg.snapshot()
+    reg.count("a", 10)
+    assert snap["counters"]["a"] == 2
+    assert set(snap) == {"counters", "timers_s", "timer_calls"}
+
+
+def test_hit_rate():
+    reg = PerfRegistry()
+    assert reg.hit_rate("h", "m") is None
+    reg.count("h", 3)
+    reg.count("m", 1)
+    assert reg.hit_rate("h", "m") == 0.75
+
+
+def test_report_mentions_counters_timers_and_rates():
+    reg = PerfRegistry()
+    reg.count("link.memo_hits", 9)
+    reg.count("link.memo_misses", 1)
+    with reg.timer("drive.run"):
+        pass
+    text = reg.report(title="unit")
+    assert "unit" in text
+    assert "link.memo_hits" in text
+    assert "drive.run" in text
+    assert "90.0%" in text
+
+
+def test_global_registry_helpers():
+    snap_before = perf_snapshot()
+    assert isinstance(snap_before, dict)
+    PERF.count("test.perf_module_probe")
+    assert perf_snapshot()["counters"]["test.perf_module_probe"] >= 1
+    # Do NOT call perf_reset() here unconditionally -- other tests rely on
+    # live counters only within a single test, but wiping the global
+    # registry mid-session is exactly what the CLI --profile path does.
+    perf_reset()
+    assert PERF.get("test.perf_module_probe") == 0
