@@ -81,7 +81,13 @@ class ApSelector:
         finds 10 ms optimal at driving speeds.
     min_readings:
         Minimum window occupancy before an AP is considered a candidate;
-        guards against electing an AP on a single lucky fade.
+        raising it guards against electing an AP on a single lucky fade
+        at the cost of slower reaction under sparse traffic.  Defaults
+        to 1, matching ``ControllerParams.min_readings`` -- the value
+        every drive actually runs with.  (Historically this defaulted
+        to 2 while the controller passed 1, so a bare ``ApSelector()``
+        silently behaved differently from the controller's; the
+        defaults are now aligned.)
     metric:
         ``"median"`` (the paper), ``"mean"`` or ``"max"`` (ablations).
     """
@@ -89,7 +95,7 @@ class ApSelector:
     def __init__(
         self,
         window_s: float = 0.010,
-        min_readings: int = 2,
+        min_readings: int = 1,
         metric: str = "median",
     ):
         if metric not in ("median", "mean", "max"):

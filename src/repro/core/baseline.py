@@ -212,7 +212,17 @@ class Enhanced80211rPolicy(RoamingPolicy):
     """Beacon-driven RSSI-threshold handover with one-second hysteresis."""
 
     def __init__(self, params: Optional[BaselinePolicyParams] = None):
+        # Imported lazily: repro.policies imports repro.core.ap_selection,
+        # so a module-level import here would form a cycle through
+        # repro.core.__init__.
+        from ..policies.baseline80211r import ThresholdScanRule
+
         self.params = params or BaselinePolicyParams()
+        self.rule = ThresholdScanRule(
+            threshold_db=self.params.rssi_threshold_db,
+            margin_db=self.params.margin_db,
+            hysteresis_s=self.params.hysteresis_s,
+        )
         self._rssi: Dict[int, float] = {}
         self._rssi_time: Dict[int, float] = {}
         self._last_switch = -1e9
@@ -249,26 +259,19 @@ class Enhanced80211rPolicy(RoamingPolicy):
         fresh = self._fresh_rssi(t)
         if not fresh:
             return
-        best_ap, best_rssi = max(fresh.items(), key=lambda kv: kv[1])
         client = self.client
         if not client.associated:
+            best_ap, best_rssi = max(fresh.items(), key=lambda kv: kv[1])
             if best_rssi >= self.params.assoc_floor_db:
                 self._start_reassoc(best_ap, t)
             return
-        current = client.current_bssid
-        current_rssi = fresh.get(current)
-        if current_rssi is None:
-            # Haven't heard the current AP lately: it is effectively gone.
-            current_rssi = -100.0
-        if current_rssi >= self.params.rssi_threshold_db:
-            return  # rule (2): only switch when the current link degrades
-        if best_ap == current:
-            return
-        if best_rssi < current_rssi + self.params.margin_db:
-            return
-        if t - self._last_switch < self.params.hysteresis_s:
-            return  # one-second time hysteresis
-        self._start_reassoc(best_ap, t)
+        # Rule (2) -- threshold, margin, and one-second hysteresis -- is
+        # shared with the controller-side baseline-80211r policy entry.
+        target = self.rule.pick_target(
+            fresh, client.current_bssid, self._last_switch, t
+        )
+        if target is not None:
+            self._start_reassoc(target, t)
 
     # ---------------------------------------------------------- reassociation
     def _start_reassoc(self, ap_id: int, t: float) -> None:

@@ -2,21 +2,28 @@
 
 One machine on the Ethernet backhaul that
 
-* consumes per-frame CSI reports from every AP, maintains the sliding
-  ESNR windows, and runs the max-median AP selection algorithm;
+* consumes per-frame CSI reports from every AP, feeds them to the
+  client's :class:`~repro.policies.HandoverPolicy`, and asks it which AP
+  should serve (the default policy is the paper's max-median windowed
+  ESNR selection);
 * forwards every downlink packet, tagged with its 12-bit index number,
   to every AP within communication range of the client;
 * runs the stop/start/ack switching protocol with the 30 ms
   retransmission timeout (one outstanding switch per client);
 * de-duplicates uplink packets tunneled up by the APs and hands them to
   the server-side flow endpoints.
+
+The controller owns every *protocol* concern -- the switch handshake,
+the time hysteresis bounding the switch rate, and AP-health eviction --
+so those guarantees hold for every policy in the zoo, not just the
+default one.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -24,7 +31,6 @@ from ..net.ethernet import Backhaul
 from ..net.packet import Packet
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
-from .ap_selection import ApSelector
 from .cyclic_queue import INDEX_MODULO
 from .dedup import Deduplicator
 from .messages import (
@@ -36,9 +42,15 @@ from .messages import (
     ctrl_packet,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (policies -> core)
+    from ..policies.base import HandoverPolicy, PolicyContext
+
 __all__ = ["ControllerParams", "WgttController", "ClientState"]
 
 UplinkHandler = Callable[[Packet, float], None]
+
+#: Shared empty exclusion set (avoids a per-evaluation allocation).
+_NO_EXCLUDE: frozenset = frozenset()
 
 
 @dataclass
@@ -54,6 +66,11 @@ class ControllerParams:
     selection_window_s: float = 0.010
     hysteresis_s: float = 0.050
     ack_timeout_s: float = 0.030
+    #: Minimum window occupancy before an AP is a switch candidate.  The
+    #: effective default for drives is 1 -- a single decoded frame makes
+    #: an AP electable, which matters at picocell edges where windows are
+    #: sparse -- and :class:`~repro.core.ap_selection.ApSelector` uses
+    #: the same default so standalone selectors match controller drives.
     min_readings: int = 1
     selection_metric: str = "median"
     max_switch_attempts: int = 10
@@ -67,7 +84,7 @@ class ControllerParams:
 
 @dataclass
 class ClientState:
-    selector: ApSelector
+    policy: "HandoverPolicy"
     next_index: int = 0
     serving_ap: Optional[int] = None
     last_switch_time: float = -1e9
@@ -89,6 +106,7 @@ class WgttController:
         rng: np.random.Generator,
         trace: Optional[TraceRecorder] = None,
         params: Optional[ControllerParams] = None,
+        policy_factory: Optional[Callable[[], "HandoverPolicy"]] = None,
     ):
         self.sim = sim
         self.backhaul = backhaul
@@ -96,6 +114,13 @@ class WgttController:
         self.rng = rng
         self.trace = trace if trace is not None else TraceRecorder(keep_kinds=set())
         self.params = params or ControllerParams()
+        if policy_factory is None:
+            # Imported here (not at module scope) to break the cycle:
+            # repro.policies depends on repro.core for the ESNR tracker.
+            from ..policies.wgtt import WgttMaxMedianPolicy
+
+            policy_factory = WgttMaxMedianPolicy
+        self.policy_factory = policy_factory
         self.clients: Dict[int, ClientState] = {}
         self.ap_ids: List[int] = []
         self.dedup = Deduplicator()
@@ -135,22 +160,33 @@ class WgttController:
                     self._evicted.add(ap_id)
                     self.trace.emit(now, "ap_evicted", ap=ap_id)
                     for state in self.clients.values():
-                        state.selector.drop_ap(ap_id)
+                        state.policy.drop_ap(ap_id)
             elif ap_id in self._evicted:
                 self._evicted.discard(ap_id)
                 self.trace.emit(now, "ap_readmitted", ap=ap_id)
 
-    def add_client(self, client_id: int) -> ClientState:
+    def add_client(
+        self, client_id: int, context: Optional["PolicyContext"] = None
+    ) -> ClientState:
+        """Get-or-create the client's state (and its policy instance).
+
+        ``context`` hands the policy infrastructure knowledge (AP
+        positions, the client's trajectory); it may arrive on a later
+        call than the one that created the state -- clients are created
+        lazily from whichever of CSI/downlink/builder touches them first.
+        """
         state = self.clients.get(client_id)
         if state is None:
-            state = ClientState(
-                selector=ApSelector(
-                    window_s=self.params.selection_window_s,
-                    min_readings=self.params.min_readings,
-                    metric=self.params.selection_metric,
-                )
+            policy = self.policy_factory()
+            policy.configure(
+                window_s=self.params.selection_window_s,
+                min_readings=self.params.min_readings,
+                metric=self.params.selection_metric,
             )
+            state = ClientState(policy=policy)
             self.clients[client_id] = state
+        if context is not None:
+            state.policy.bind(context)
         return state
 
     def register_uplink_handler(self, flow_id: int, handler: UplinkHandler) -> None:
@@ -171,7 +207,7 @@ class WgttController:
         state = self.add_client(client)
         now = self.sim.now
         self._sweep_dead_aps(now)
-        targets = state.selector.in_range_aps(now)
+        targets = state.policy.in_range_aps(now)
         if self._evicted:
             targets = [ap for ap in targets if ap not in self._evicted]
         # The serving AP (and the AP a pending switch is moving to) must
@@ -227,7 +263,7 @@ class WgttController:
         state = self.add_client(reading.client_id)
         t = self.sim.now
         esnr = reading.esnr_db()
-        state.selector.update(reading.ap_id, reading.time, esnr)
+        state.policy.observe(reading.ap_id, reading.time, esnr)
         self.trace.emit(t, "csi", client=reading.client_id, ap=reading.ap_id,
                         esnr=esnr)
         self._evaluate(reading.client_id, state, t)
@@ -236,13 +272,14 @@ class WgttController:
         if state.switching is not None:
             return  # one outstanding switch per client (footnote 2)
         self._sweep_dead_aps(t)
-        best = self._best_live_ap(state, t)
+        exclude = frozenset(self._evicted) if self._evicted else _NO_EXCLUDE
+        best = state.policy.select(t, serving=state.serving_ap, exclude=exclude)
         if state.serving_ap is None:
             # Bootstrap: with nobody serving, any reading is better than
             # none, so elect on whatever the window holds.
             if best is None:
                 candidates = [
-                    ap for ap in state.selector.in_range_aps(t)
+                    ap for ap in state.policy.in_range_aps(t)
                     if ap not in self._evicted
                 ]
                 if not candidates:
@@ -255,18 +292,6 @@ class WgttController:
         if t - state.last_switch_time < self.params.hysteresis_s:
             return
         self._begin_switch(client, state, old_ap=state.serving_ap, new_ap=best, t=t)
-
-    def _best_live_ap(self, state: ClientState, t: float) -> Optional[int]:
-        """Max-score candidate, skipping health-evicted APs."""
-        if not self._evicted:
-            return state.selector.best_ap(t)
-        candidates = {
-            ap: score for ap, score in state.selector.candidates(t).items()
-            if ap not in self._evicted
-        }
-        if not candidates:
-            return None
-        return max(candidates.items(), key=lambda kv: kv[1])[0]
 
     def _begin_switch(
         self,
@@ -349,6 +374,7 @@ class WgttController:
         state.serving_ap = new_ap
         state.last_switch_time = self.sim.now
         state.switch_count += 1
+        state.policy.on_switch(self.sim.now, new_ap)
         self.trace.emit(self.sim.now, "ap_switch", client=msg.client, ap=new_ap)
 
     def _send(self, dst: int, msg) -> None:

@@ -34,6 +34,13 @@ from ..net.ethernet import Backhaul, BackhaulParams
 from ..net.packet import Packet
 from ..phy.antenna import ParabolicAntenna
 from ..phy.channel import Link, RadioParams
+from ..policies import (
+    PolicyContext,
+    PolicySpec,
+    coerce_policy,
+    create_policy,
+    policy_class,
+)
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
 
@@ -70,12 +77,27 @@ class ExperimentConfig:
     fault_scenario: Optional[FaultScenario] = None
     #: Cap on stored trace records (ring buffer; None = unbounded).
     trace_max_records: Optional[int] = None
+    #: Handover policy for the WGTT controller (a
+    #: :class:`repro.policies.PolicySpec`, a dict, a registry name, or
+    #: its JSON string).  None runs the paper's default
+    #: ``wgtt-max-median`` selection, bit-identical to before the policy
+    #: framework existed.  Baseline mode has its own client-side roaming
+    #: policy (``policy_params``) and rejects this knob.
+    policy: Optional[PolicySpec] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("wgtt", "baseline"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.fault_scenario is not None:
             self.fault_scenario = coerce_scenario(self.fault_scenario)
+        if self.policy is not None:
+            self.policy = coerce_policy(self.policy)
+            if self.mode != "wgtt":
+                raise ValueError(
+                    "policy applies to the WGTT controller only; baseline "
+                    "mode roams client-side via policy_params"
+                )
+            policy_class(self.policy.name)  # fail fast on unknown names
 
 
 class Network:
@@ -116,10 +138,15 @@ class Network:
                     controller_params,
                     ap_liveness_timeout_s=config.fault_scenario.liveness_timeout_s,
                 )
+            policy_factory = None
+            if config.policy is not None:
+                spec = config.policy
+                policy_factory = lambda: create_policy(spec)  # noqa: E731
             self.controller = WgttController(
                 self.sim, self.backhaul, self.controller_id,
                 np.random.default_rng([config.seed, 3]),
                 trace=self.trace, params=controller_params,
+                policy_factory=policy_factory,
             )
             ap_params = config.ap_params or ApParams()
         else:
@@ -193,7 +220,17 @@ class Network:
             pre_associated = config.mode == "wgtt"
         if pre_associated and config.mode == "wgtt":
             pre_associate(client, self.aps, self.bssid)
-            self.controller.add_client(node_id)
+            signed = getattr(trajectory, "speed_signed_mps", trajectory.speed_mps)
+            context = PolicyContext(
+                ap_positions={
+                    ap.node_id: self.road.ap_position(i)
+                    for i, ap in enumerate(self.aps)
+                },
+                position_fn=trajectory.position,
+                speed_mps=trajectory.speed_mps,
+                heading_sign=-1.0 if signed < 0 else 1.0,
+            )
+            self.controller.add_client(node_id, context=context)
         self.clients.append(client)
         return client
 

@@ -28,6 +28,12 @@ from ..faults import FaultScenario
 from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
 from ..orchestration import ResultCache, SweepSpec, run_sweep
 from ..perf import PERF
+from ..policies import (
+    PolicySpec,
+    available_policies,
+    coerce_policy,
+    policy_class,
+)
 from .builder import ExperimentConfig, build_network
 from .metrics import mean_throughput_mbps, throughput_timeseries
 from .runners import run_single_drive
@@ -47,6 +53,24 @@ def _load_fault_scenario(arg: Optional[str]) -> Optional[FaultScenario]:
     raise SystemExit(f"--fault-scenario: no such file: {arg}")
 
 
+def _load_policy(arg: Optional[str]) -> Optional[PolicySpec]:
+    """``--policy`` accepts a registry name, inline JSON, or a JSON file."""
+    if arg is None:
+        return None
+    if os.path.exists(arg):
+        with open(arg, "r", encoding="utf-8") as fh:
+            arg = fh.read()
+    try:
+        spec = coerce_policy(arg)
+        if spec is not None:
+            policy_class(spec.name)  # fail fast on unknown names
+        return spec
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"--policy: {exc} (available: {', '.join(sorted(available_policies()))})"
+        )
+
+
 def _coverage_window(speed_mph: float, road: RoadLayout):
     v = mph_to_mps(speed_mph)
     return 15.0 / v, (road.span_m + 15.0) / v
@@ -54,9 +78,12 @@ def _coverage_window(speed_mph: float, road: RoadLayout):
 
 def cmd_drive(args: argparse.Namespace) -> int:
     scenario = _load_fault_scenario(args.fault_scenario)
+    policy = _load_policy(args.policy)
     extra = {}
     if scenario is not None:
         extra["fault_scenario"] = scenario
+    if policy is not None:
+        extra["policy"] = policy
     if args.profile:
         PERF.reset()
     from time import perf_counter
@@ -78,6 +105,8 @@ def cmd_drive(args: argparse.Namespace) -> int:
         t0, t1 = 0.5, result.duration_s
     throughput = mean_throughput_mbps(result.deliveries, t0, t1)
     print(f"mode           : {args.mode}")
+    if policy is not None:
+        print(f"policy         : {policy.label()}")
     print(f"speed          : {args.speed} mph")
     print(f"traffic        : {args.traffic}")
     print(f"throughput     : {throughput:.2f} Mbit/s (in coverage)")
@@ -114,11 +143,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     seeds = ([int(s) for s in args.seeds.split(",")]
              if args.seeds else [args.seed])
     scenario = _load_fault_scenario(args.fault_scenario)
+    policies = None
+    if args.policies:
+        policies = [_load_policy(p.strip())
+                    for p in args.policies.split(",") if p.strip()]
     spec = SweepSpec(
         modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
         seeds=seeds, udp_rate_mbps=args.udp_rate,
         n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
-        fault_scenario=scenario,
+        fault_scenario=scenario, policies=policies,
     )
     cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
     result = run_sweep(
@@ -127,25 +160,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         verbose=args.verbose,
     )
 
-    # Mean coverage throughput per (mode, speed), averaged over seeds.
+    # Mean coverage throughput per (column, speed), averaged over seeds.
+    # Columns are modes; a --policies axis splits them per policy label.
+    def column_of(job) -> str:
+        if job.policy is not None:
+            return coerce_policy(job.policy).label()
+        return job.mode
+
+    columns: List[str] = []
     cells = {}
     for job, summary in zip(result.jobs, result.summaries):
+        col = column_of(job)
+        if col not in columns:
+            columns.append(col)
         if summary is not None:
-            cells.setdefault((job.mode, job.speed_mph), []).append(
+            cells.setdefault((col, job.speed_mph), []).append(
                 summary.coverage_throughput_mbps
             )
-    header = f"{'speed':>8} " + " ".join(f"{m:>9}" for m in modes)
-    show_gain = "wgtt" in modes and "baseline" in modes
+    width = max(9, max(len(c) for c in columns) + 1)
+    header = f"{'speed':>8} " + " ".join(f"{c:>{width}}" for c in columns)
+    show_gain = "wgtt" in columns and "baseline" in columns
     if show_gain:
         header += f" {'gain':>6}"
     print(header)
     for speed in speeds:
         row = {
-            mode: float(np.mean(cells[(mode, speed)]))
-            for mode in modes if (mode, speed) in cells
+            col: float(np.mean(cells[(col, speed)]))
+            for col in columns if (col, speed) in cells
         }
         line = f"{speed:6.0f}mph " + " ".join(
-            f"{row[m]:9.2f}" if m in row else f"{'-':>9}" for m in modes
+            f"{row[c]:{width}.2f}" if c in row else f"{'-':>{width}}"
+            for c in columns
         )
         if show_gain and "wgtt" in row and "baseline" in row:
             line += f" {row['wgtt'] / max(row['baseline'], 1e-9):5.1f}x"
@@ -199,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--timeseries", action="store_true")
     drive.add_argument("--fault-scenario", default=None, metavar="FILE",
                        help="fault scenario JSON (file path or inline)")
+    drive.add_argument("--policy", default=None, metavar="NAME_OR_JSON",
+                       help="handover policy: registry name, inline JSON "
+                            '({"name": ..., "params": {...}}), or a JSON '
+                            "file (wgtt mode only)")
     drive.add_argument("--profile", action="store_true",
                        help="print PHY fast-path counters, cache hit rates, "
                             "and events/sec after the drive")
@@ -234,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fault-scenario", default=None, metavar="FILE",
                        help="fault scenario JSON applied to every job "
                             "(file path or inline)")
+    sweep.add_argument("--policies", default=None,
+                       help="comma list of handover-policy names (or JSON "
+                            "files) run as an extra sweep axis")
     sweep.set_defaults(fn=cmd_sweep)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")

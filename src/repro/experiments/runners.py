@@ -253,13 +253,23 @@ def run_drive_summary(
     """
     from time import perf_counter
 
+    from ..policies import DEFAULT_POLICY_NAME, coerce_policy
+
     t0 = perf_counter()
     result = run_single_drive(
         mode=mode, speed_mph=speed_mph, traffic=traffic,
         udp_rate_mbps=udp_rate_mbps, seed=seed, **kwargs,
     )
+    policy = kwargs.get("policy")
+    if policy is None and kwargs.get("config") is not None:
+        policy = kwargs["config"].policy
+    if policy is not None:
+        policy_label = coerce_policy(policy).label()
+    else:
+        policy_label = DEFAULT_POLICY_NAME if mode == "wgtt" else ""
     return result.summarize(
         mode=mode, speed_mph=speed_mph, traffic=traffic,
         udp_rate_mbps=udp_rate_mbps, seed=seed,
         wall_clock_s=perf_counter() - t0,
+        policy=policy_label,
     )

@@ -36,7 +36,8 @@ from .summary import DriveSummary
 __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "default_code_salt"]
 
 #: Bump when the DriveSummary schema or job canonicalisation changes.
-CACHE_SCHEMA_VERSION = 1
+#: 2: JobSpec grew ``policy``; DriveSummary grew ``policy``.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

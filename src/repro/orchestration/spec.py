@@ -24,6 +24,7 @@ from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import coerce_scenario
+from ..policies import coerce_policy
 
 __all__ = ["JobSpec", "SweepSpec", "derive_seed"]
 
@@ -37,6 +38,19 @@ def _canonical_scenario_json(value: Any) -> Optional[str]:
     """
     scenario = coerce_scenario(value)
     return None if scenario is None else scenario.to_json()
+
+
+def _canonical_policy_json(value: Any) -> Optional[str]:
+    """Normalise any accepted policy form to its canonical JSON string.
+
+    Same contract as fault scenarios: a PolicySpec, a dict, a bare
+    registry name, or a JSON string all normalise to one canonical
+    encoding, so equal policies always produce equal jobs and cache keys
+    -- and distinct policies (even same-name, different-params) never
+    collide.
+    """
+    spec = coerce_policy(value)
+    return None if spec is None else spec.to_json()
 
 #: Scalar types allowed in job overrides (anything else cannot be hashed
 #: into a stable cache key or serialised to JSON losslessly).
@@ -79,6 +93,12 @@ class JobSpec:
     #: FaultScenario or dict at construction; stored normalised so equal
     #: scenarios always produce equal jobs and cache keys.
     fault_scenario: Optional[str] = None
+    #: Handover policy as canonical JSON (None = the default
+    #: ``wgtt-max-median``).  Accepts a PolicySpec, dict, bare name, or
+    #: JSON string at construction; stored normalised.  Note the derived
+    #: seed does NOT depend on the policy, so policies in one sweep
+    #: compare on identical channel realisations.
+    policy: Optional[str] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -88,6 +108,9 @@ class JobSpec:
             raise ValueError(f"unknown traffic {self.traffic!r}")
         object.__setattr__(
             self, "fault_scenario", _canonical_scenario_json(self.fault_scenario)
+        )
+        object.__setattr__(
+            self, "policy", _canonical_policy_json(self.policy)
         )
         normalized = tuple(sorted((str(k), v) for k, v in self.overrides))
         for name, value in normalized:
@@ -120,6 +143,8 @@ class JobSpec:
             parts.append(f"d{self.duration_s:g}")
         if self.fault_scenario is not None:
             parts.append(f"fault={coerce_scenario(self.fault_scenario).key_hash()}")
+        if self.policy is not None:
+            parts.append(f"policy={coerce_policy(self.policy).label()}")
         parts.extend(f"{k}={v}" for k, v in self.overrides)
         return ":".join(parts)
 
@@ -158,6 +183,8 @@ class JobSpec:
         if self.fault_scenario is not None:
             # Passed through as the JSON string; ExperimentConfig coerces.
             kwargs["fault_scenario"] = self.fault_scenario
+        if self.policy is not None:
+            kwargs["policy"] = self.policy
         kwargs.update(dict(self.overrides))
         return kwargs
 
@@ -184,6 +211,11 @@ class SweepSpec:
     ap_spacing_m: Optional[float] = None
     #: Fault scenario applied to every job (FaultScenario, dict, or JSON).
     fault_scenario: Optional[Any] = None
+    #: Handover-policy axis (each entry a PolicySpec, dict, name, or
+    #: JSON; None entries mean the default policy).  None skips the axis
+    #: entirely.  Seeds do not depend on the policy, so every policy in
+    #: the sweep sees identical channel realisations per grid point.
+    policies: Optional[Sequence[Any]] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
 
     def expand(self) -> List[JobSpec]:
@@ -191,8 +223,12 @@ class SweepSpec:
         jobs: List[JobSpec] = []
         override_items = tuple(sorted(self.overrides.items()))
         scenario_json = _canonical_scenario_json(self.fault_scenario)
-        for mode, speed, traffic in product(self.modes, self.speeds_mph,
-                                            self.traffics):
+        policy_axis = (
+            [None] if self.policies is None
+            else [_canonical_policy_json(p) for p in self.policies]
+        )
+        for mode, speed, traffic, policy in product(
+                self.modes, self.speeds_mph, self.traffics, policy_axis):
             if self.seeds is not None:
                 seeds = list(self.seeds)
             else:
@@ -212,10 +248,13 @@ class SweepSpec:
                     n_aps=self.n_aps,
                     ap_spacing_m=self.ap_spacing_m,
                     fault_scenario=scenario_json,
+                    policy=policy,
                     overrides=override_items,
                 ))
         return jobs
 
     def __len__(self) -> int:
         per_point = len(self.seeds) if self.seeds is not None else self.replicates
-        return len(self.modes) * len(self.speeds_mph) * len(self.traffics) * per_point
+        n_policies = 1 if self.policies is None else len(self.policies)
+        return (len(self.modes) * len(self.speeds_mph) * len(self.traffics)
+                * n_policies * per_point)

@@ -58,6 +58,9 @@ class DriveSummary:
     trace_counters: Dict[str, int] = field(default_factory=dict)
     events_fired: int = 0
     wall_clock_s: float = 0.0
+    #: Handover-policy label (registry name, plus a params hash when the
+    #: policy was parameterised).  Empty for baseline-mode drives.
+    policy: str = ""
 
     # ------------------------------------------------------------- build
     @classmethod
@@ -71,6 +74,7 @@ class DriveSummary:
         udp_rate_mbps: float = 0.0,
         seed: int = 0,
         wall_clock_s: float = 0.0,
+        policy: str = "",
     ) -> "DriveSummary":
         """Extract the summary from a completed drive."""
         road = result.net.road
@@ -112,6 +116,7 @@ class DriveSummary:
             trace_counters=dict(result.trace.counters),
             events_fired=result.net.sim.events_fired,
             wall_clock_s=wall_clock_s,
+            policy=policy,
         )
 
     # ----------------------------------------------------------- queries

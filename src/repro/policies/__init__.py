@@ -1,0 +1,59 @@
+"""Pluggable handover policies (the policy zoo).
+
+The paper's core contribution is an AP-selection rule -- max-median
+windowed ESNR (section 3.1.1).  This package makes that rule *one entry
+in a registry* so alternatives from the related work can be compared
+inside the same controller, data plane, and measurement harness:
+
+============================  ==============================================
+``wgtt-max-median``           The paper: max-median windowed ESNR (default).
+``baseline-80211r``           Enhanced 802.11r's threshold + scan rule,
+                              factored from :mod:`repro.core.baseline`.
+``coverage-map``              Wi-Fi-Assist-style blind handover at
+                              pre-computed switch locations (AP positions
+                              + optional past-drive quality weights).
+``trajectory-predictive``     Coverage map evaluated at the extrapolated
+                              position: lead time grows with speed.
+``datarate-estimator``        ESNR-vs-position profile learned from drive
+                              history; selects on predicted rate.
+``greedy-instant``            Windowless freshest-reading chaser (the
+                              ablation the median defends against).
+============================  ==============================================
+
+Selection flows through :class:`HandoverPolicy`; experiment configs, the
+CLI, and sweep jobs name policies with a :class:`PolicySpec` (name +
+JSON params) that hashes into cache keys.  The controller owns protocol
+concerns (switch handshake, hysteresis, health eviction); policies are
+pure selection logic.
+"""
+
+from .base import HandoverPolicy, PolicyContext
+from .baseline80211r import Baseline80211rPolicy, ThresholdScanRule
+from .coverage_map import CoverageMapPolicy, cell_boundaries
+from .datarate import DatarateEstimatorPolicy, PositionProfile, profile_from_drive
+from .predictive import TrajectoryPredictivePolicy
+from .registry import available_policies, create_policy, policy_class, register
+from .spec import DEFAULT_POLICY_NAME, PolicySpec, coerce_policy
+from .wgtt import GreedyInstantPolicy, WgttMaxMedianPolicy
+
+__all__ = [
+    "HandoverPolicy",
+    "PolicyContext",
+    "PolicySpec",
+    "coerce_policy",
+    "DEFAULT_POLICY_NAME",
+    "register",
+    "create_policy",
+    "policy_class",
+    "available_policies",
+    "WgttMaxMedianPolicy",
+    "GreedyInstantPolicy",
+    "Baseline80211rPolicy",
+    "ThresholdScanRule",
+    "CoverageMapPolicy",
+    "cell_boundaries",
+    "TrajectoryPredictivePolicy",
+    "DatarateEstimatorPolicy",
+    "PositionProfile",
+    "profile_from_drive",
+]

@@ -1,0 +1,157 @@
+"""The handover-policy interface.
+
+A :class:`HandoverPolicy` is the pluggable brain of the WGTT controller:
+it observes per-AP ESNR readings (derived from CSI reports), optionally
+the client's position/velocity and the AP placement, and decides which AP
+should serve the client.  The controller keeps every protocol concern --
+the stop/start/ack switching handshake, the time hysteresis that bounds
+the switch rate, retransmissions, and AP-health eviction -- so policies
+are pure selection logic and automatically inherit all of it.
+
+Every policy carries an :class:`~repro.core.ap_selection.ApSelector`
+*tracker* that maintains the sliding ESNR windows.  The tracker serves
+two roles shared by all policies regardless of how they select:
+
+* ``in_range_aps`` -- the downlink multicast set (footnote 1 of the
+  paper: an AP is "within communication range" when it decoded the
+  client inside the window);
+* ``drop_ap`` -- crashed-AP eviction initiated by the controller's
+  health tracking.
+
+Subclasses implement :meth:`HandoverPolicy.select`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.ap_selection import ApSelector
+
+__all__ = ["PolicyContext", "HandoverPolicy"]
+
+Vec3 = Tuple[float, float, float]
+
+#: Immutable empty exclusion set shared by call sites.
+NO_EXCLUSIONS: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class PolicyContext:
+    """Infrastructure knowledge handed to a policy when its client joins.
+
+    ``ap_positions`` maps AP node id to its (x, y, z) position in build
+    order; ``ap_order`` lists the same node ids sorted by along-road x
+    (the stable *AP index* used by declarative specs, matching the
+    fault-scenario convention).  ``position_fn`` is the client's
+    trajectory sampled at any simulation time; ``speed_mps`` /
+    ``heading_sign`` describe its (constant) velocity along the road.
+
+    Everything here is deterministic and side-effect free: sampling a
+    trajectory draws no randomness and schedules no events, so a policy
+    consulting its context cannot perturb the simulation.
+    """
+
+    ap_positions: Dict[int, Vec3] = field(default_factory=dict)
+    position_fn: Optional[Callable[[float], Vec3]] = None
+    speed_mps: float = 0.0
+    #: +1.0 when the client drives towards +x, -1.0 for the reverse lane.
+    heading_sign: float = 1.0
+
+    @property
+    def ap_order(self) -> List[int]:
+        """AP node ids sorted by along-road x (stable AP-index order)."""
+        return sorted(self.ap_positions, key=lambda n: self.ap_positions[n][0])
+
+    def x_at(self, t: float) -> Optional[float]:
+        """The client's along-road coordinate at ``t`` (None = unknown)."""
+        if self.position_fn is None:
+            return None
+        return self.position_fn(t)[0]
+
+    def velocity_x(self) -> float:
+        """Signed along-road speed in m/s."""
+        return self.heading_sign * self.speed_mps
+
+
+class HandoverPolicy:
+    """Base class for AP-selection policies.
+
+    Tracking parameters (``window_s`` / ``min_readings`` / ``metric``)
+    default to the controller's :class:`ControllerParams` values; a
+    policy spec may override any of them through its JSON params.
+    """
+
+    #: Registry name; set by subclasses.
+    name: ClassVar[str] = "?"
+
+    def __init__(
+        self,
+        window_s: Optional[float] = None,
+        min_readings: Optional[int] = None,
+        metric: Optional[str] = None,
+    ):
+        self._window_s = window_s
+        self._min_readings = min_readings
+        self._metric = metric
+        self.tracker: Optional[ApSelector] = None
+        self.context: Optional[PolicyContext] = None
+
+    # ------------------------------------------------------------- wiring
+    def configure(self, window_s: float, min_readings: int, metric: str) -> None:
+        """Build the ESNR tracker (controller defaults; ctor params win).
+
+        Called exactly once by the controller when the client state is
+        created; idempotent against repeated ``add_client`` calls.
+        """
+        if self.tracker is not None:
+            return
+        self.tracker = ApSelector(
+            window_s=self._window_s if self._window_s is not None else window_s,
+            min_readings=(self._min_readings if self._min_readings is not None
+                          else min_readings),
+            metric=self._metric if self._metric is not None else metric,
+        )
+
+    def bind(self, context: PolicyContext) -> None:
+        """Attach infrastructure/trajectory knowledge (may arrive late)."""
+        self.context = context
+
+    # ------------------------------------------------------- observations
+    def observe(self, ap_id: int, t: float, esnr_db: float) -> None:
+        """One ESNR reading derived from a CSI report ``ap_id`` decoded."""
+        self.tracker.update(ap_id, t, esnr_db)
+
+    def on_switch(self, t: float, ap_id: int) -> None:
+        """The controller committed a switch to ``ap_id`` (ack received)."""
+
+    # ----------------------------------------------------------- liveness
+    def in_range_aps(self, now: float) -> List[int]:
+        """The downlink multicast set (APs that heard the client lately)."""
+        return self.tracker.in_range_aps(now)
+
+    def drop_ap(self, ap_id: int) -> bool:
+        """Evict a crashed AP's state; returns True when any was held."""
+        return self.tracker.drop_ap(ap_id)
+
+    # ---------------------------------------------------------- selection
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        """The AP this policy wants serving at ``now``.
+
+        ``serving`` is the currently-serving AP (None before bootstrap);
+        ``exclude`` holds health-evicted APs that must not be chosen.
+        Returning ``serving`` (or None when there is no viable candidate)
+        means "no switch".  The controller applies its own time
+        hysteresis on top, so a policy may re-assert the same preference
+        every evaluation without causing switch storms.
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,145 @@
+"""Enhanced 802.11r's selection rule, factored for reuse.
+
+The comparison scheme of paper section 5.1 switches APs reactively: only
+once the *current* link has degraded below a threshold, only to a
+candidate that beats it by a margin, and at most once per (one-second)
+hysteresis period.  :class:`ThresholdScanRule` is that decision rule as
+a pure value -- the client-side
+:class:`~repro.core.baseline.Enhanced80211rPolicy` (beacon-driven, full
+802.11r architecture) and the controller-side
+:class:`Baseline80211rPolicy` registry entry (same rule inside the WGTT
+data plane) share it, so the tournament isolates the *selection rule*
+from the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from .base import NO_EXCLUSIONS, HandoverPolicy
+from .registry import register
+
+__all__ = ["ThresholdScanRule", "Baseline80211rPolicy"]
+
+
+@dataclass(frozen=True)
+class ThresholdScanRule:
+    """Rule (2) of the Enhanced 802.11r scheme, as a pure function.
+
+    Switch away from ``current`` only when its level has fallen below
+    ``threshold_db``, to the strongest candidate, provided it wins by
+    ``margin_db`` and the last switch is older than ``hysteresis_s``.
+    """
+
+    threshold_db: float = 5.0
+    margin_db: float = 3.0
+    hysteresis_s: float = 1.0
+
+    def pick_target(
+        self,
+        fresh: Dict[int, float],
+        current: Optional[int],
+        last_switch_t: float,
+        now: float,
+    ) -> Optional[int]:
+        """The AP to hand over to, or None to stay put.
+
+        ``fresh`` maps candidate AP -> smoothed level (dB); ``current``
+        must be a key of ``fresh`` or None-like (a current AP that has
+        gone silent scores an effective -100 dB).
+        """
+        if not fresh:
+            return None
+        best_ap, best_level = max(fresh.items(), key=lambda kv: kv[1])
+        current_level = fresh.get(current)
+        if current_level is None:
+            # Haven't heard the current AP lately: it is effectively gone.
+            current_level = -100.0
+        if current_level >= self.threshold_db:
+            return None  # only switch when the current link degrades
+        if best_ap == current:
+            return None
+        if best_level < current_level + self.margin_db:
+            return None
+        if now - last_switch_t < self.hysteresis_s:
+            return None  # time hysteresis
+        return best_ap
+
+
+@register
+class Baseline80211rPolicy(HandoverPolicy):
+    """Threshold + scan selection (Enhanced 802.11r) as a controller policy.
+
+    ESNR readings stand in for the beacon RSSI scan: each observation
+    updates a per-AP EWMA (the same ``ewma_weight`` smoothing the
+    client-side baseline applies to beacons), entries go stale after
+    ``stale_after_s``, and :class:`ThresholdScanRule` makes the handover
+    decision.  The one-second rule hysteresis is clocked off committed
+    switches (:meth:`on_switch`), exactly like the client-side scheme
+    clocks off successful reassociations.
+    """
+
+    name = "baseline-80211r"
+
+    def __init__(
+        self,
+        threshold_db: float = 5.0,
+        margin_db: float = 3.0,
+        rule_hysteresis_s: float = 1.0,
+        ewma_weight: float = 0.7,
+        stale_after_s: float = 0.35,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.rule = ThresholdScanRule(
+            threshold_db=threshold_db,
+            margin_db=margin_db,
+            hysteresis_s=rule_hysteresis_s,
+        )
+        self.ewma_weight = ewma_weight
+        self.stale_after_s = stale_after_s
+        self._level: Dict[int, float] = {}
+        self._level_time: Dict[int, float] = {}
+        self._last_switch = -1e9
+
+    # ------------------------------------------------------------ tracking
+    def observe(self, ap_id: int, t: float, esnr_db: float) -> None:
+        super().observe(ap_id, t, esnr_db)
+        w = self.ewma_weight
+        if ap_id in self._level and t - self._level_time[ap_id] < 1.0:
+            self._level[ap_id] = w * self._level[ap_id] + (1 - w) * esnr_db
+        else:
+            self._level[ap_id] = esnr_db
+        self._level_time[ap_id] = t
+
+    def drop_ap(self, ap_id: int) -> bool:
+        self._level.pop(ap_id, None)
+        self._level_time.pop(ap_id, None)
+        return super().drop_ap(ap_id)
+
+    def on_switch(self, t: float, ap_id: int) -> None:
+        self._last_switch = t
+
+    # ----------------------------------------------------------- selection
+    def _fresh(self, now: float, exclude: FrozenSet[int]) -> Dict[int, float]:
+        cutoff = now - self.stale_after_s
+        return {
+            ap: level for ap, level in self._level.items()
+            if self._level_time[ap] >= cutoff and ap not in exclude
+        }
+
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        fresh = self._fresh(now, exclude)
+        if not fresh:
+            return None
+        if serving is None:
+            # Initial association: join the strongest AP heard.
+            return max(fresh.items(), key=lambda kv: kv[1])[0]
+        target = self.rule.pick_target(fresh, serving, self._last_switch, now)
+        return serving if target is None else target

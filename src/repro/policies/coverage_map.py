@@ -1,0 +1,135 @@
+"""Infrastructure-assisted blind handover from a pre-computed coverage map.
+
+The Wi-Fi Assist idiom (Rodrigues & Steenkiste; see PAPERS.md): instead
+of reacting to instantaneous channel measurements, pre-compute *where*
+along the road each AP should serve -- from the AP placement alone, or
+sharpened with per-AP quality weights learned from past drives -- and
+hand over the moment the vehicle crosses a cell boundary.  The policy is
+"blind": CSI only feeds the shared in-range tracker (multicast set and
+liveness), never the switch decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .base import NO_EXCLUSIONS, HandoverPolicy
+from .registry import register
+
+__all__ = ["CoverageMapPolicy", "cell_boundaries"]
+
+
+def cell_boundaries(
+    ap_xs: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> List[float]:
+    """Along-road handover boundaries between consecutive APs.
+
+    With no weights the boundary is the midpoint.  A weight ratio shifts
+    it towards the weaker AP, giving the stronger AP the larger cell:
+    ``x_b = x_i + (x_{i+1} - x_i) * w_i / (w_i + w_{i+1})``.
+    """
+    if weights is None:
+        weights = [1.0] * len(ap_xs)
+    if len(weights) != len(ap_xs):
+        raise ValueError(
+            f"need one weight per AP: {len(weights)} weights, {len(ap_xs)} APs"
+        )
+    out: List[float] = []
+    for i in range(len(ap_xs) - 1):
+        w_a = max(float(weights[i]), 1e-9)
+        w_b = max(float(weights[i + 1]), 1e-9)
+        out.append(ap_xs[i] + (ap_xs[i + 1] - ap_xs[i]) * w_a / (w_a + w_b))
+    return out
+
+
+@register
+class CoverageMapPolicy(HandoverPolicy):
+    """Pre-computed switch locations; switch on crossing, not on fading.
+
+    Parameters
+    ----------
+    hysteresis_m:
+        A switch back to the cell just left requires re-crossing the
+        boundary by this margin (anti-chatter for jittery trajectories).
+    ap_weights:
+        Optional per-AP quality weights in along-road AP-index order
+        (e.g. mean throughput or ESNR from a previous drive's history);
+        shifts boundaries towards weaker APs.
+    """
+
+    name = "coverage-map"
+
+    def __init__(
+        self,
+        hysteresis_m: float = 1.0,
+        ap_weights: Optional[Sequence[float]] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.hysteresis_m = hysteresis_m
+        self.ap_weights = list(ap_weights) if ap_weights is not None else None
+
+    # ------------------------------------------------------------ the map
+    def _live_map(
+        self, exclude: FrozenSet[int]
+    ) -> Tuple[List[int], List[float]]:
+        """(ap_ids, boundaries) over the non-evicted APs, by road order."""
+        order = [ap for ap in self.context.ap_order if ap not in exclude]
+        xs = [self.context.ap_positions[ap][0] for ap in order]
+        weights = None
+        if self.ap_weights is not None:
+            # Weights are indexed by road order over *all* APs; keep the
+            # entries of the surviving ones.
+            index_of: Dict[int, int] = {
+                ap: i for i, ap in enumerate(self.context.ap_order)
+            }
+            weights = [self.ap_weights[index_of[ap]] for ap in order]
+        return order, cell_boundaries(xs, weights)
+
+    @staticmethod
+    def _cell_of(x: float, boundaries: Sequence[float]) -> int:
+        cell = 0
+        for boundary in boundaries:
+            if x >= boundary:
+                cell += 1
+        return cell
+
+    # ---------------------------------------------------------- selection
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        if self.context is None or not self.context.ap_positions:
+            # No infrastructure knowledge: degrade to reactive max-median.
+            return self._reactive_fallback(now, exclude)
+        x = self.context.x_at(now)
+        if x is None:
+            return self._reactive_fallback(now, exclude)
+        order, boundaries = self._live_map(exclude)
+        if not order:
+            return None
+        desired = order[self._cell_of(x, boundaries)]
+        if (serving is not None and desired != serving and serving in order
+                and serving not in exclude):
+            # Anti-chatter: stay with the current cell until the client is
+            # clearly past the shared boundary.
+            cell_d = order.index(desired)
+            cell_s = order.index(serving)
+            if abs(cell_d - cell_s) == 1:
+                boundary = boundaries[min(cell_d, cell_s)]
+                if abs(x - boundary) < self.hysteresis_m:
+                    return serving
+        return desired
+
+    def _reactive_fallback(
+        self, now: float, exclude: FrozenSet[int]
+    ) -> Optional[int]:
+        candidates = {
+            ap: score for ap, score in self.tracker.candidates(now).items()
+            if ap not in exclude
+        }
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]

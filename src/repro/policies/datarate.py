@@ -1,0 +1,216 @@
+"""Data-rate estimation from drive history.
+
+The third related-work idiom (cf. the ap-selection/datarate-estimation
+work named in ROADMAP.md): learn, from past drives, what ESNR each AP
+delivers at each point along the road, and select the AP whose
+*predicted rate* at the client's current position is highest.  Unlike
+the blind coverage map this captures non-geometric structure -- antenna
+aim, shadowing, a weak AP -- and unlike reactive policies it does not
+wait for the serving link to degrade before moving.
+
+:class:`PositionProfile` is the learned artefact: per-AP mean ESNR in
+fixed-width bins of along-road position.  It is JSON-roundtrippable, so
+a profile learned from one (training) drive travels inside the policy's
+params through sweep specs and the persistent result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..phy.mcs import link_capacity_mbps
+from .base import NO_EXCLUSIONS, HandoverPolicy
+from .registry import register
+
+__all__ = ["PositionProfile", "DatarateEstimatorPolicy", "profile_from_drive"]
+
+
+@dataclass
+class PositionProfile:
+    """Per-AP mean ESNR as a function of binned along-road position.
+
+    ``esnr`` maps AP index (along-road order, the same stable index the
+    fault subsystem uses) to a list of per-bin means; ``None`` marks bins
+    the history never visited.  Bin ``i`` covers
+    ``[x0 + i*bin_m, x0 + (i+1)*bin_m)``.
+    """
+
+    x0: float
+    bin_m: float
+    esnr: Dict[int, List[Optional[float]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bin_m <= 0:
+            raise ValueError(f"bin_m must be positive, got {self.bin_m}")
+
+    # -------------------------------------------------------------- build
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[Tuple[float, int, float]],
+        bin_m: float = 2.0,
+    ) -> "PositionProfile":
+        """Aggregate (x, ap_index, esnr_db) samples into binned means."""
+        rows = list(samples)
+        if not rows:
+            return cls(x0=0.0, bin_m=bin_m)
+        x0 = min(x for x, _ap, _e in rows)
+        n_bins = int((max(x for x, _ap, _e in rows) - x0) / bin_m) + 1
+        sums: Dict[int, List[float]] = {}
+        counts: Dict[int, List[int]] = {}
+        for x, ap_index, esnr in rows:
+            b = min(int((x - x0) / bin_m), n_bins - 1)
+            if ap_index not in sums:
+                sums[ap_index] = [0.0] * n_bins
+                counts[ap_index] = [0] * n_bins
+            sums[ap_index][b] += esnr
+            counts[ap_index][b] += 1
+        esnr = {
+            ap: [s / c if c else None for s, c in zip(sums[ap], counts[ap])]
+            for ap in sums
+        }
+        return cls(x0=x0, bin_m=bin_m, esnr=esnr)
+
+    # ------------------------------------------------------------- lookup
+    def predict(self, ap_index: int, x: float,
+                max_gap_bins: int = 2) -> Optional[float]:
+        """Mean historical ESNR of ``ap_index`` near ``x`` (None = no data).
+
+        Falls back to the nearest populated bin within ``max_gap_bins``.
+        """
+        bins = self.esnr.get(ap_index)
+        if not bins:
+            return None
+        b = int((x - self.x0) / self.bin_m)
+        for offset in range(max_gap_bins + 1):
+            for candidate in (b - offset, b + offset) if offset else (b,):
+                if 0 <= candidate < len(bins) and bins[candidate] is not None:
+                    return bins[candidate]
+        return None
+
+    def predicted_rate_mbps(self, ap_index: int, x: float) -> Optional[float]:
+        """Historical ESNR mapped through the MCS table to a PHY rate."""
+        esnr = self.predict(ap_index, x)
+        if esnr is None:
+            return None
+        return link_capacity_mbps(esnr)
+
+    # ------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict:
+        return {
+            "x0": self.x0,
+            "bin_m": self.bin_m,
+            # JSON objects have string keys; keep the canonical encoding
+            # stable by converting here rather than at json.dumps time.
+            "esnr": {str(ap): bins for ap, bins in sorted(self.esnr.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PositionProfile":
+        return cls(
+            x0=float(data["x0"]),
+            bin_m=float(data["bin_m"]),
+            esnr={int(ap): list(bins) for ap, bins in data.get("esnr", {}).items()},
+        )
+
+
+def profile_from_drive(result, bin_m: float = 2.0) -> PositionProfile:
+    """Learn a :class:`PositionProfile` from one completed drive.
+
+    Reads the drive's ``csi`` trace records (every ESNR the controller
+    saw), converts report times to along-road positions through the
+    client's trajectory, and bins per AP.  The drive must have retained
+    ``csi`` records (the default trace configuration does).
+    """
+    net = result.net
+    client = result.client
+    index_of = {
+        ap.node_id: i
+        for i, ap in enumerate(sorted(net.aps, key=lambda a: a.position_v[0]))
+    }
+    samples = [
+        (client.trajectory.position(r.time)[0], index_of[r["ap"]], r["esnr"])
+        for r in net.trace.iter_records("csi")
+        if r["client"] == client.node_id and r["ap"] in index_of
+    ]
+    return PositionProfile.from_samples(samples, bin_m=bin_m)
+
+
+@register
+class DatarateEstimatorPolicy(HandoverPolicy):
+    """Select the AP with the highest predicted rate at the current position.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`PositionProfile` in dict form (as produced by
+        :meth:`PositionProfile.to_dict`) -- typically learned from a
+        training drive via :func:`profile_from_drive`.
+    margin_db:
+        A challenger must beat the serving AP's predicted ESNR by this
+        margin (anti-chatter across flat profile regions).
+    lead_s:
+        Small constant position extrapolation to absorb the switch
+        handshake latency.
+    """
+
+    name = "datarate-estimator"
+
+    def __init__(
+        self,
+        profile: Optional[Dict] = None,
+        margin_db: float = 1.0,
+        lead_s: float = 0.02,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.profile = (PositionProfile.from_dict(profile)
+                        if profile is not None else None)
+        self.margin_db = margin_db
+        self.lead_s = lead_s
+
+    def _predictions(
+        self, x: float, exclude: FrozenSet[int]
+    ) -> Dict[int, float]:
+        """node_id -> predicted ESNR at ``x`` for every live, profiled AP."""
+        out: Dict[int, float] = {}
+        for ap_index, node_id in enumerate(self.context.ap_order):
+            if node_id in exclude:
+                continue
+            predicted = self.profile.predict(ap_index, x)
+            if predicted is not None:
+                out[node_id] = predicted
+        return out
+
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        if (self.profile is None or self.context is None
+                or not self.context.ap_positions):
+            return self._reactive_fallback(now, exclude)
+        x = self.context.x_at(now + self.lead_s)
+        if x is None:
+            return self._reactive_fallback(now, exclude)
+        predictions = self._predictions(x, exclude)
+        if not predictions:
+            return self._reactive_fallback(now, exclude)
+        best_ap, best_esnr = max(predictions.items(), key=lambda kv: kv[1])
+        if serving is not None and serving in predictions and best_ap != serving:
+            if best_esnr < predictions[serving] + self.margin_db:
+                return serving
+        return best_ap
+
+    def _reactive_fallback(
+        self, now: float, exclude: FrozenSet[int]
+    ) -> Optional[int]:
+        candidates = {
+            ap: score for ap, score in self.tracker.candidates(now).items()
+            if ap not in exclude
+        }
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]

@@ -1,0 +1,56 @@
+"""The policy zoo: a name -> class registry.
+
+Policies register themselves with :func:`register`; configs, the CLI, and
+sweep jobs instantiate them by name via :func:`create_policy`.  The
+registry is populated at import time by :mod:`repro.policies.__init__`,
+so importing the package is enough to make every shipped policy
+available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import HandoverPolicy
+from .spec import PolicySpec
+
+__all__ = ["register", "create_policy", "available_policies", "policy_class"]
+
+_REGISTRY: Dict[str, Type[HandoverPolicy]] = {}
+
+
+def register(cls: Type[HandoverPolicy]) -> Type[HandoverPolicy]:
+    """Class decorator: add ``cls`` to the zoo under ``cls.name``."""
+    name = cls.name
+    if not name or name == "?":
+        raise ValueError(f"{cls.__name__} must define a registry name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"policy name {name!r} already registered to "
+                         f"{existing.__name__}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def policy_class(name: str) -> Type[HandoverPolicy]:
+    """The registered class for ``name`` (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+
+
+def create_policy(spec: PolicySpec) -> HandoverPolicy:
+    """Instantiate a fresh policy from its spec (one per client)."""
+    cls = policy_class(spec.name)
+    try:
+        return cls(**spec.params)
+    except TypeError as exc:
+        raise TypeError(f"bad params for policy {spec.name!r}: {exc}") from exc
+
+
+def available_policies() -> List[str]:
+    """Registered policy names, sorted."""
+    return sorted(_REGISTRY)

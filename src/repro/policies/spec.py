@@ -1,0 +1,93 @@
+"""Declarative policy specifications.
+
+A :class:`PolicySpec` is the (name + JSON params) value that selects a
+handover policy in an :class:`~repro.experiments.builder.ExperimentConfig`,
+a CLI invocation, or a sweep :class:`~repro.orchestration.spec.JobSpec`.
+Like :class:`~repro.faults.FaultScenario` it is a plain value: JSON-
+roundtrippable, hashable into cache keys, and picklable across worker
+boundaries, so two jobs that differ only in policy parameters can never
+collide on a cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["PolicySpec", "coerce_policy", "DEFAULT_POLICY_NAME"]
+
+#: The paper's rule (max-median windowed ESNR); what runs when no policy
+#: is specified anywhere.
+DEFAULT_POLICY_NAME = "wgtt-max-median"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named policy plus its JSON-safe keyword parameters."""
+
+    name: str = DEFAULT_POLICY_NAME
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"policy name must be a non-empty string, got {self.name!r}")
+        # Params must survive a JSON round trip losslessly, or the cache
+        # identity would diverge from what the worker actually runs.
+        try:
+            encoded = json.dumps(self.params, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"policy params must be JSON-serialisable: {exc}") from exc
+        if json.loads(encoded) != self.params:
+            raise TypeError("policy params must round-trip through JSON losslessly")
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name}
+        if self.params:
+            out["params"] = self.params
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PolicySpec":
+        return cls(name=data["name"], params=dict(data.get("params", {})))
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (stable key order, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicySpec":
+        return cls.from_dict(json.loads(text))
+
+    def key_hash(self, length: int = 10) -> str:
+        """Short stable digest for cache keys and job identity strings."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:length]
+
+    def label(self) -> str:
+        """Human-readable identity: the name, plus a hash when parametrised."""
+        if not self.params:
+            return self.name
+        return f"{self.name}@{self.key_hash(6)}"
+
+
+def coerce_policy(value: Any) -> Optional[PolicySpec]:
+    """Accept a PolicySpec, dict, bare name, or JSON string (None passes).
+
+    A string starting with ``{`` parses as the canonical JSON form;
+    anything else is treated as a bare policy name with no params.
+    """
+    if value is None or isinstance(value, PolicySpec):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if text.startswith("{"):
+            return PolicySpec.from_json(text)
+        return PolicySpec(name=text)
+    if isinstance(value, dict):
+        return PolicySpec.from_dict(value)
+    raise TypeError(
+        f"policy must be PolicySpec, dict, name, or JSON str, "
+        f"got {type(value).__name__}"
+    )

@@ -1,0 +1,86 @@
+"""The paper's selection rule, and a windowless ablation of it.
+
+:class:`WgttMaxMedianPolicy` is the default policy: max-median windowed
+ESNR (section 3.1.1), a thin shell over the tracker the base class
+already maintains.  A default-policy drive is bit-identical to the
+pre-framework controller -- the golden drive digests pin this.
+
+:class:`GreedyInstantPolicy` is the ablation the paper argues against:
+chase the single freshest reading per AP with no windowing, so every
+deep instantaneous fade triggers a re-election.  It exists to make the
+tournament show *why* the median matters.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from .base import NO_EXCLUSIONS, HandoverPolicy
+from .registry import register
+
+__all__ = ["WgttMaxMedianPolicy", "GreedyInstantPolicy"]
+
+
+@register
+class WgttMaxMedianPolicy(HandoverPolicy):
+    """Max-median windowed ESNR (the paper, section 3.1.1)."""
+
+    name = "wgtt-max-median"
+
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        # The no-eviction path must stay byte-for-byte the historical
+        # controller behaviour (single best_ap call, same tie-breaking).
+        if not exclude:
+            return self.tracker.best_ap(now)
+        candidates = {
+            ap: score for ap, score in self.tracker.candidates(now).items()
+            if ap not in exclude
+        }
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]
+
+
+@register
+class GreedyInstantPolicy(HandoverPolicy):
+    """Chase the freshest single reading per AP (no median, no window).
+
+    ``stale_after_s`` bounds how old a 'latest' reading may be before the
+    AP leaves the candidate set.
+    """
+
+    name = "greedy-instant"
+
+    def __init__(self, stale_after_s: float = 0.05, **kwargs):
+        super().__init__(**kwargs)
+        self.stale_after_s = stale_after_s
+        #: ap_id -> (time, esnr) of its most recent reading.
+        self._latest = {}
+
+    def observe(self, ap_id: int, t: float, esnr_db: float) -> None:
+        super().observe(ap_id, t, esnr_db)
+        self._latest[ap_id] = (t, esnr_db)
+
+    def drop_ap(self, ap_id: int) -> bool:
+        self._latest.pop(ap_id, None)
+        return super().drop_ap(ap_id)
+
+    def select(
+        self,
+        now: float,
+        serving: Optional[int],
+        exclude: FrozenSet[int] = NO_EXCLUSIONS,
+    ) -> Optional[int]:
+        cutoff = now - self.stale_after_s
+        fresh = {
+            ap: esnr for ap, (t, esnr) in self._latest.items()
+            if t >= cutoff and ap not in exclude
+        }
+        if not fresh:
+            return None
+        return max(fresh.items(), key=lambda kv: kv[1])[0]

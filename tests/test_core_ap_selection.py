@@ -57,6 +57,28 @@ class TestEsnrWindow:
         with pytest.raises(ValueError):
             EsnrWindow(0.0)
 
+    def test_min_keep_yields_to_hard_cap(self):
+        """min_keep retention never outlives the max_age_s staleness cap."""
+        w = EsnrWindow(0.010, min_keep=3, max_age_s=0.1)
+        w.add(0.00, 10.0)
+        w.add(0.05, 11.0)
+        w.add(0.09, 12.0)
+        # The first two are past W at t=0.095 but inside max_age_s:
+        # retained by min_keep.
+        assert w.values(0.095) == [10.0, 11.0, 12.0]
+        # The first crosses the hard cap at t=0.10+: evicted despite
+        # min_keep asking for three.
+        assert w.values(0.105) == [11.0, 12.0]
+
+    def test_max_age_below_window_clamps_to_window(self):
+        """max_age_s < window_s would evict in-window readings; clamped."""
+        w = EsnrWindow(0.010, min_keep=0, max_age_s=0.001)
+        assert w.max_age_s == 0.010
+        w.add(0.000, 10.0)
+        w.add(0.005, 12.0)
+        # Both readings are inside W and must survive the (clamped) cap.
+        assert w.values(0.008) == [10.0, 12.0]
+
 
 class TestApSelector:
     def test_best_ap_by_median(self):
@@ -107,6 +129,19 @@ class TestApSelector:
         sel.update(2, 0.1, 20.0)
         sel.update(2, 0.2, 20.0)
         assert sel.best_ap(0.3) == 1
+
+    def test_default_min_readings_matches_controller(self):
+        """Regression: ApSelector() used to default min_readings=2 while
+        ControllerParams passed 1, so a bare selector silently behaved
+        differently from every actual drive.  The defaults now agree."""
+        from repro.core.controller import ControllerParams
+
+        assert ApSelector().min_readings == ControllerParams().min_readings == 1
+
+    def test_single_reading_qualifies_by_default(self):
+        s = ApSelector(window_s=0.010)
+        s.update(1, 0.001, 20.0)
+        assert s.best_ap(0.002) == 1
 
     def test_unknown_metric_rejected(self):
         with pytest.raises(ValueError):

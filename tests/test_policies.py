@@ -1,0 +1,558 @@
+"""Tests for the pluggable handover-policy framework (repro.policies)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.ap_selection import ApSelector
+from repro.core.controller import ControllerParams, WgttController
+from repro.core.messages import (
+    CsiReport,
+    StartMsg,
+    StopMsg,
+    SwitchAck,
+    ctrl_packet,
+)
+from repro.net.ethernet import Backhaul, BackhaulParams
+from repro.phy.csi import CSIReading
+from repro.policies import (
+    Baseline80211rPolicy,
+    CoverageMapPolicy,
+    DatarateEstimatorPolicy,
+    HandoverPolicy,
+    PolicyContext,
+    PolicySpec,
+    PositionProfile,
+    ThresholdScanRule,
+    TrajectoryPredictivePolicy,
+    WgttMaxMedianPolicy,
+    available_policies,
+    cell_boundaries,
+    coerce_policy,
+    create_policy,
+    policy_class,
+    register,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+# ---------------------------------------------------------------- PolicySpec
+class TestPolicySpec:
+    def test_json_round_trip(self):
+        spec = PolicySpec("coverage-map", {"hysteresis_m": 2.0})
+        assert PolicySpec.from_json(spec.to_json()) == spec
+
+    def test_canonical_json_is_stable(self):
+        a = PolicySpec("x", {"b": 1, "a": 2})
+        b = PolicySpec("x", {"a": 2, "b": 1})
+        assert a.to_json() == b.to_json()
+        assert a.key_hash() == b.key_hash()
+
+    def test_distinct_params_distinct_hash(self):
+        a = PolicySpec("coverage-map", {"hysteresis_m": 1.0})
+        b = PolicySpec("coverage-map", {"hysteresis_m": 2.0})
+        assert a.key_hash() != b.key_hash()
+        assert a.label() != b.label()
+
+    def test_label_is_bare_name_without_params(self):
+        assert PolicySpec("wgtt-max-median").label() == "wgtt-max-median"
+        assert "@" in PolicySpec("wgtt-max-median", {"metric": "mean"}).label()
+
+    def test_coerce_accepts_all_forms(self):
+        spec = PolicySpec("greedy-instant")
+        assert coerce_policy(None) is None
+        assert coerce_policy(spec) is spec
+        assert coerce_policy("greedy-instant") == spec
+        assert coerce_policy(spec.to_json()) == spec
+        assert coerce_policy({"name": "greedy-instant"}) == spec
+        with pytest.raises(TypeError):
+            coerce_policy(42)
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(TypeError):
+            PolicySpec("x", {"fn": lambda: None})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec("")
+
+
+# ------------------------------------------------------------------ registry
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        names = available_policies()
+        for expected in ("wgtt-max-median", "baseline-80211r", "coverage-map",
+                         "trajectory-predictive", "datarate-estimator",
+                         "greedy-instant"):
+            assert expected in names
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="wgtt-max-median"):
+            policy_class("no-such-policy")
+
+    def test_create_with_params(self):
+        policy = create_policy(PolicySpec("coverage-map", {"hysteresis_m": 3.0}))
+        assert isinstance(policy, CoverageMapPolicy)
+        assert policy.hysteresis_m == 3.0
+
+    def test_bad_params_raise_with_context(self):
+        with pytest.raises(TypeError, match="coverage-map"):
+            create_policy(PolicySpec("coverage-map", {"bogus_knob": 1}))
+
+    def test_same_class_reregistration_is_idempotent(self):
+        assert register(WgttMaxMedianPolicy) is WgttMaxMedianPolicy
+
+    def test_conflicting_registration_rejected(self):
+        class Impostor(HandoverPolicy):
+            name = "wgtt-max-median"
+
+        with pytest.raises(ValueError):
+            register(Impostor)
+
+
+# ------------------------------------------------------------- base behaviour
+def make_context(speed_mps=10.0, ap_xs=(0.0, 7.5, 15.0), start_x=-5.0):
+    """Three APs (ids 100..) along the road; client driving towards +x."""
+    return PolicyContext(
+        ap_positions={100 + i: (x, -8.0, 10.0) for i, x in enumerate(ap_xs)},
+        position_fn=lambda t: (start_x + speed_mps * t, 2.0, 1.5),
+        speed_mps=speed_mps,
+        heading_sign=1.0,
+    )
+
+
+class TestHandoverPolicyBase:
+    def test_configure_applies_controller_defaults(self):
+        policy = WgttMaxMedianPolicy()
+        policy.configure(window_s=0.02, min_readings=3, metric="mean")
+        assert policy.tracker.window_s == 0.02
+        assert policy.tracker.min_readings == 3
+        assert policy.tracker.metric == "mean"
+
+    def test_ctor_params_win_over_controller_defaults(self):
+        policy = WgttMaxMedianPolicy(window_s=0.5, metric="max")
+        policy.configure(window_s=0.02, min_readings=3, metric="mean")
+        assert policy.tracker.window_s == 0.5
+        assert policy.tracker.min_readings == 3  # not overridden
+        assert policy.tracker.metric == "max"
+
+    def test_configure_is_idempotent(self):
+        policy = WgttMaxMedianPolicy()
+        policy.configure(window_s=0.02, min_readings=1, metric="median")
+        tracker = policy.tracker
+        policy.configure(window_s=0.99, min_readings=9, metric="max")
+        assert policy.tracker is tracker
+
+    def test_select_matches_bare_selector(self):
+        policy = WgttMaxMedianPolicy()
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        reference = ApSelector(window_s=0.01, min_readings=1)
+        for t, ap, esnr in [(0.001, 1, 10.0), (0.002, 2, 20.0),
+                            (0.003, 1, 12.0), (0.004, 2, 18.0)]:
+            policy.observe(ap, t, esnr)
+            reference.update(ap, t, esnr)
+        assert policy.select(0.005, serving=None) == reference.best_ap(0.005)
+
+    def test_exclusions_filter_selection(self):
+        policy = WgttMaxMedianPolicy()
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.observe(1, 0.001, 10.0)
+        policy.observe(2, 0.001, 20.0)
+        assert policy.select(0.002, serving=None) == 2
+        assert policy.select(0.002, serving=None, exclude=frozenset({2})) == 1
+
+    def test_drop_ap_forgets_candidate(self):
+        policy = WgttMaxMedianPolicy()
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.observe(1, 0.001, 10.0)
+        policy.observe(2, 0.001, 20.0)
+        assert policy.drop_ap(2) is True
+        assert policy.select(0.002, serving=None) == 1
+        assert policy.drop_ap(2) is False
+
+
+# ----------------------------------------------------------- baseline-80211r
+class TestThresholdScanRule:
+    RULE = ThresholdScanRule(threshold_db=5.0, margin_db=3.0, hysteresis_s=1.0)
+
+    def test_stays_while_current_is_healthy(self):
+        fresh = {1: 10.0, 2: 30.0}
+        assert self.RULE.pick_target(fresh, 1, -10.0, 0.0) is None
+
+    def test_switches_when_degraded_and_margin_met(self):
+        fresh = {1: 2.0, 2: 9.0}
+        assert self.RULE.pick_target(fresh, 1, -10.0, 0.0) == 2
+
+    def test_margin_blocks_marginal_challenger(self):
+        fresh = {1: 2.0, 2: 4.0}
+        assert self.RULE.pick_target(fresh, 1, -10.0, 0.0) is None
+
+    def test_hysteresis_blocks_recent_switcher(self):
+        fresh = {1: 2.0, 2: 9.0}
+        assert self.RULE.pick_target(fresh, 1, 0.5, 1.0) is None
+        assert self.RULE.pick_target(fresh, 1, 0.5, 1.6) == 2
+
+    def test_silent_current_is_effectively_gone(self):
+        fresh = {2: -50.0}  # current AP 1 not heard at all
+        assert self.RULE.pick_target(fresh, 1, -10.0, 0.0) == 2
+
+
+class TestBaseline80211rPolicy:
+    def make(self, **kw):
+        policy = Baseline80211rPolicy(**kw)
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        return policy
+
+    def test_initial_selection_is_strongest(self):
+        policy = self.make()
+        policy.observe(1, 0.0, 10.0)
+        policy.observe(2, 0.0, 20.0)
+        assert policy.select(0.01, serving=None) == 2
+
+    def test_reactive_switch_clocked_by_on_switch(self):
+        policy = self.make(rule_hysteresis_s=1.0)
+        policy.on_switch(0.0, 1)
+        for t in (0.1, 0.2, 0.3):
+            policy.observe(1, t, 2.0)   # serving is degraded
+            policy.observe(2, t, 20.0)  # strong challenger
+        # Inside the rule's one-second hysteresis: stay.
+        assert policy.select(0.35, serving=1) == 1
+        # Past it: go.
+        policy.observe(1, 1.05, 2.0)
+        policy.observe(2, 1.05, 20.0)
+        assert policy.select(1.1, serving=1) == 2
+
+    def test_drop_ap_clears_ewma_state(self):
+        policy = self.make()
+        policy.observe(2, 0.0, 20.0)
+        policy.drop_ap(2)
+        assert policy.select(0.01, serving=None) is None
+
+
+# --------------------------------------------------------------- coverage map
+class TestCoverageMap:
+    def test_unweighted_boundaries_are_midpoints(self):
+        assert cell_boundaries([0.0, 10.0, 30.0]) == [5.0, 20.0]
+
+    def test_weighted_boundary_shifts_towards_weak_ap(self):
+        # AP0 three times as strong: boundary at 3/4 of the gap.
+        assert cell_boundaries([0.0, 8.0], [3.0, 1.0]) == [6.0]
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cell_boundaries([0.0, 8.0], [1.0])
+
+    def make(self, **kw):
+        policy = CoverageMapPolicy(**kw)
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.bind(make_context())
+        return policy
+
+    def test_selects_cell_of_current_position(self):
+        policy = self.make()
+        # x(0.2) = -5 + 10*0.2 = -3 -> first cell; x(1.0) = 5 -> second.
+        assert policy.select(0.2, serving=None) == 100
+        assert policy.select(1.0, serving=None) == 101
+        assert policy.select(1.8, serving=None) == 102  # x = 13 > 11.25
+
+    def test_boundary_hysteresis_keeps_serving(self):
+        policy = self.make(hysteresis_m=2.0)
+        # Boundary 100|101 is at 3.75; x(0.9) = 4.0 is inside the 2 m band.
+        assert policy.select(0.9, serving=100) == 100
+        # Well past it, the map wins.
+        assert policy.select(1.3, serving=100) == 101
+
+    def test_excluded_ap_cells_are_reassigned(self):
+        policy = self.make()
+        # AP 101's cell, but 101 is evicted: the map over survivors
+        # hands the position to a neighbour instead.
+        assert policy.select(1.0, serving=None,
+                             exclude=frozenset({101})) in (100, 102)
+
+    def test_reactive_fallback_without_context(self):
+        policy = CoverageMapPolicy()
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.observe(7, 0.001, 15.0)
+        assert policy.select(0.002, serving=None) == 7
+
+
+class TestTrajectoryPredictive:
+    def make(self, speed=20.0, **kw):
+        policy = TrajectoryPredictivePolicy(**kw)
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.bind(make_context(speed_mps=speed))
+        return policy
+
+    def test_lead_grows_with_speed_and_caps(self):
+        slow = self.make(speed=5.0, lead_gain_s_per_mps=0.01, max_lead_s=0.25)
+        fast = self.make(speed=100.0, lead_gain_s_per_mps=0.01, max_lead_s=0.25)
+        assert slow.lead_s() == pytest.approx(0.05)
+        assert fast.lead_s() == 0.25  # capped
+
+    def test_commits_earlier_than_coverage_map(self):
+        plain = CoverageMapPolicy()
+        plain.configure(window_s=0.01, min_readings=1, metric="median")
+        plain.bind(make_context(speed_mps=20.0))
+        predictive = self.make(speed=20.0, lead_gain_s_per_mps=0.01)
+        # Just before the 100|101 boundary (x = 3.75 at t = 0.4375):
+        t = 0.42
+        assert plain.select(t, serving=100) == 100
+        assert predictive.select(t, serving=100) == 101
+
+
+# ---------------------------------------------------------- datarate profile
+class TestPositionProfile:
+    def test_binned_means(self):
+        profile = PositionProfile.from_samples(
+            [(0.5, 0, 10.0), (1.5, 0, 20.0), (2.5, 0, 40.0)], bin_m=2.0
+        )
+        assert profile.predict(0, 1.0) == pytest.approx(15.0)
+        assert profile.predict(0, 2.6) == pytest.approx(40.0)
+
+    def test_gap_fallback_to_nearest_bin(self):
+        profile = PositionProfile.from_samples(
+            [(0.0, 0, 10.0), (8.0, 0, 30.0)], bin_m=2.0
+        )
+        # Bin at x=2..4 is empty; nearest populated within 2 bins is x=0.
+        assert profile.predict(0, 3.0) == pytest.approx(10.0)
+        assert profile.predict(1, 3.0) is None  # unknown AP
+
+    def test_dict_round_trip(self):
+        profile = PositionProfile.from_samples(
+            [(0.0, 0, 10.0), (3.0, 1, 20.0)], bin_m=1.5
+        )
+        clone = PositionProfile.from_dict(
+            json.loads(json.dumps(profile.to_dict()))
+        )
+        assert clone.predict(1, 3.0) == profile.predict(1, 3.0)
+        assert clone.esnr == profile.esnr
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            PositionProfile(x0=0.0, bin_m=0.0)
+
+
+class TestDatarateEstimator:
+    def make_profile(self):
+        # AP index 0 strong early, index 1 strong late.
+        samples = [(x, 0, 30.0 - 2 * x) for x in range(0, 16, 2)]
+        samples += [(x, 1, 2 * x) for x in range(0, 16, 2)]
+        return PositionProfile.from_samples(samples, bin_m=2.0).to_dict()
+
+    def make(self, **kw):
+        policy = DatarateEstimatorPolicy(profile=self.make_profile(), **kw)
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.bind(make_context(speed_mps=10.0, ap_xs=(0.0, 15.0)))
+        return policy
+
+    def test_selects_predicted_best(self):
+        policy = self.make()
+        # Early (x ~ 0): profile says AP index 0 -> node 100.
+        assert policy.select(0.1, serving=None) == 100
+        # Late (x ~ 13): index 1 -> node 101.
+        assert policy.select(1.8, serving=None) == 101
+
+    def test_margin_keeps_serving_near_crossover(self):
+        # Crossover at x = 7.5; margin keeps the incumbent just past it.
+        policy = self.make(margin_db=6.0, lead_s=0.0)
+        assert policy.select(1.3, serving=100) == 100  # x = 8.0
+
+    def test_reactive_fallback_without_profile(self):
+        policy = DatarateEstimatorPolicy()
+        policy.configure(window_s=0.01, min_readings=1, metric="median")
+        policy.observe(9, 0.001, 15.0)
+        assert policy.select(0.002, serving=None) == 9
+
+
+# --------------------------------------------------- controller integration
+class HandshakingAp:
+    """An AP stub that completes the switch handshake like a real WgttAp."""
+
+    def __init__(self, node_id, backhaul, controller_id):
+        self.node_id = node_id
+        self.backhaul = backhaul
+        self.controller_id = controller_id
+        backhaul.register(node_id, self.on_backhaul)
+
+    def on_backhaul(self, packet, src):
+        if packet.protocol != "ctrl":
+            return
+        msg = packet.payload
+        if isinstance(msg, StartMsg):
+            self.backhaul.send(
+                self.node_id, self.controller_id,
+                ctrl_packet(self.node_id, self.controller_id,
+                            SwitchAck(client=msg.client, ap=self.node_id), 0.0),
+            )
+        elif isinstance(msg, StopMsg):
+            # Old AP relays the start to the new AP (section 3.2 handshake).
+            self.backhaul.send(
+                self.node_id, msg.new_ap,
+                ctrl_packet(self.node_id, msg.new_ap,
+                            StartMsg(client=msg.client, index=0), 0.0),
+            )
+
+
+def make_policy_controller(policy_factory, n_aps=3, **params):
+    sim = Simulator()
+    backhaul = Backhaul(sim, np.random.default_rng(0),
+                        params=BackhaulParams(jitter_s=0.0))
+    controller = WgttController(
+        sim, backhaul, node_id=1, rng=np.random.default_rng(1),
+        params=ControllerParams(**params), policy_factory=policy_factory,
+        trace=TraceRecorder(keep_kinds={"ap_switch"}),
+    )
+    aps = [HandshakingAp(100 + i, backhaul, 1) for i in range(n_aps)]
+    for ap in aps:
+        controller.add_ap(ap.node_id)
+    return sim, backhaul, controller, aps
+
+
+def send_csi(sim, backhaul, controller, ap_id, client, esnr, at):
+    reading = CSIReading(time=at, ap_id=ap_id, client_id=client,
+                         csi=np.ones(56, dtype=complex), mean_snr_db=esnr)
+    sim.schedule_at(at, backhaul.send, ap_id, controller.node_id,
+                    ctrl_packet(ap_id, controller.node_id,
+                                CsiReport(reading=reading), at))
+
+
+class ScriptedPolicy(HandoverPolicy):
+    """Returns a scripted AP sequence, ignoring ESNR entirely."""
+
+    name = "scripted-test"
+
+    def __init__(self, script, **kwargs):
+        super().__init__(**kwargs)
+        self.script = list(script)
+        self.calls = 0
+
+    def select(self, now, serving, exclude=frozenset()):
+        choice = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        return choice
+
+
+def test_controller_honours_scripted_policy_over_esnr():
+    """The controller switches where the policy says, not where ESNR points."""
+    sim, bh, ctl, aps = make_policy_controller(
+        lambda: ScriptedPolicy([100, 100, 102, 102, 102]), hysteresis_s=0.0
+    )
+    # AP 100 is overwhelmingly the strongest the whole time.
+    for i in range(8):
+        t = 0.001 * (i + 1)
+        send_csi(sim, bh, ctl, 100, 200, 40.0, t)
+        send_csi(sim, bh, ctl, 102, 200, 5.0, t)
+    sim.run(until=0.1)
+    assert ctl.serving_ap(200) == 102
+
+
+def test_controller_default_policy_is_max_median():
+    sim, bh, ctl, aps = make_policy_controller(None)
+    ctl.add_client(200)
+    assert isinstance(ctl.clients[200].policy, WgttMaxMedianPolicy)
+
+
+@pytest.mark.parametrize("name", sorted(available_policies()))
+def test_controller_hysteresis_bounds_switch_rate_for(name):
+    """Committed switches are always >= hysteresis_s apart, per policy."""
+    hysteresis = 0.05
+    context = make_context(speed_mps=100.0, start_x=-2.0)
+
+    def factory():
+        policy = create_policy(PolicySpec(name))
+        return policy
+
+    sim, bh, ctl, aps = make_policy_controller(factory, hysteresis_s=hysteresis)
+    ctl.add_client(200, context=context)
+    # Rapidly alternating dominance between APs 100/101 begs every
+    # reactive policy to thrash; map policies cross all cells (100 m/s).
+    for i in range(100):
+        t = 0.002 * (i + 1)
+        strong, weak = (100, 101) if i % 2 else (101, 100)
+        send_csi(sim, bh, ctl, strong, 200, 35.0, t)
+        send_csi(sim, bh, ctl, weak, 200, 2.0, t)
+    sim.run(until=0.25)
+    switch_times = [r.time for r in ctl.trace.iter_records("ap_switch")]
+    assert switch_times, f"{name}: no switch ever committed"
+    gaps = np.diff(switch_times)
+    assert (gaps >= hysteresis - 1e-9).all(), f"{name}: gaps {gaps}"
+
+
+def test_dead_ap_eviction_reaches_policy():
+    drops = []
+
+    class RecordingPolicy(WgttMaxMedianPolicy):
+        def drop_ap(self, ap_id):
+            drops.append(ap_id)
+            return super().drop_ap(ap_id)
+
+    sim, bh, ctl, aps = make_policy_controller(
+        RecordingPolicy, ap_liveness_timeout_s=0.05
+    )
+    send_csi(sim, bh, ctl, 100, 200, 30.0, 0.001)
+    send_csi(sim, bh, ctl, 101, 200, 10.0, 0.001)
+    # AP 100 goes silent; 101 keeps reporting past the liveness timeout.
+    for i in range(10):
+        send_csi(sim, bh, ctl, 101, 200, 10.0, 0.01 * (i + 1) + 0.001)
+    sim.run(until=0.2)
+    assert 100 in drops
+    assert ctl.serving_ap(200) == 101
+
+
+# ----------------------------------------------------- config / cache plumbing
+class TestConfigPlumbing:
+    def test_baseline_mode_rejects_policy(self):
+        from repro.experiments import ExperimentConfig
+
+        with pytest.raises(ValueError, match="baseline"):
+            ExperimentConfig(mode="baseline", policy="coverage-map")
+
+    def test_unknown_policy_name_rejected(self):
+        from repro.experiments import ExperimentConfig
+
+        with pytest.raises(KeyError):
+            ExperimentConfig(mode="wgtt", policy="no-such-policy")
+
+    def test_policy_coerced_from_string(self):
+        from repro.experiments import ExperimentConfig
+
+        config = ExperimentConfig(mode="wgtt", policy="coverage-map")
+        assert config.policy == PolicySpec("coverage-map")
+
+    def test_jobspec_policy_round_trip(self):
+        from repro.orchestration import JobSpec
+
+        job = JobSpec(policy={"name": "coverage-map",
+                              "params": {"hysteresis_m": 2.0}})
+        assert job.policy == PolicySpec(
+            "coverage-map", {"hysteresis_m": 2.0}
+        ).to_json()
+        assert JobSpec.from_dict(job.canonical()) == job
+        assert "policy=coverage-map@" in job.key()
+        assert job.run_kwargs()["policy"] == job.policy
+
+    def test_distinct_policies_never_collide_in_cache(self):
+        from repro.orchestration import JobSpec, ResultCache
+
+        cache = ResultCache(root=None)
+        base = JobSpec()
+        named = JobSpec(policy="wgtt-max-median")
+        tuned = JobSpec(policy={"name": "wgtt-max-median",
+                                "params": {"metric": "mean"}})
+        other = JobSpec(policy="coverage-map")
+        hashes = {cache.key_hash(j) for j in (base, named, tuned, other)}
+        assert len(hashes) == 4
+
+    def test_summary_policy_field_round_trips(self):
+        from repro.orchestration.summary import DriveSummary
+
+        summary = DriveSummary(
+            job_key="k", mode="wgtt", speed_mph=15.0, traffic="udp",
+            udp_rate_mbps=50.0, seed=0, duration_s=1.0, measure_t0=0.0,
+            measure_t1=1.0, throughput_mbps=1.0,
+            coverage_throughput_mbps=1.0, coverage_t0=0.0, coverage_t1=1.0,
+            policy="coverage-map",
+        )
+        assert DriveSummary.from_dict(summary.to_dict()).policy == "coverage-map"
