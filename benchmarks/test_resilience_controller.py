@@ -1,0 +1,166 @@
+"""Resilience: controller death, compared across three recovery postures.
+
+This is an extension experiment, not a paper figure: the WGTT controller
+is the single point of failure the paper never exercises.  The same
+15 mph / 20 Mb/s UDP drive is run three times with the controller
+process crashing at t = 2.5 s:
+
+* **failover** -- warm standby armed (checkpointed state, heartbeat
+  failure detector): the standby takes over within a few heartbeats and
+  resumes switching from the checkpoint;
+* **degraded** -- no standby; APs fall back to autonomous serving until
+  the controller cold-restarts 2 s later and reconciles;
+* **none** -- no HA at all: downlink enters through the dead controller,
+  so the client starves after the ring backlog drains.
+
+Every faulted arm runs with the runtime invariant monitors armed
+(no duplicate delivery, bounded reordering, index monotonicity, single
+serving AP) -- recovery speed never buys correctness violations.
+
+Results land in ``BENCH_resilience.json`` at the repo root with commit
+metadata, mirroring the other BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.ha import HaParams
+from repro.experiments import throughput_timeseries
+from repro.faults import FaultScenario
+
+from common import drive, fmt, print_table
+from test_perf_phy import REPO_ROOT, bench_metadata
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_resilience.json")
+
+SPEED_MPH = 15.0
+UDP_RATE = 20.0
+SEED = 7
+CRASH_T = 2.5
+RESTART_AFTER_S = 2.0
+DURATION_S = 7.0
+
+BIN_S = 0.25
+#: Recovery = back to this fraction of the pre-crash mean, sustained.
+RECOVERY_FRACTION = 0.5
+
+
+def _ha_json(**kw) -> str:
+    """Canonical HaParams JSON (scalar, so drives share the result cache)."""
+    return json.dumps(HaParams(**kw).to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _scenario(restart: bool) -> str:
+    restart_after = RESTART_AFTER_S if restart else None
+    return FaultScenario.single_controller_crash(
+        at=CRASH_T, restart_after_s=restart_after
+    ).to_json()
+
+
+#: arm name -> run_single_drive overrides.
+ARMS = {
+    "failover": {"ha": _ha_json(), "fault_scenario": _scenario(restart=False)},
+    "degraded": {"ha": _ha_json(standby=False),
+                 "fault_scenario": _scenario(restart=True)},
+    "none": {"fault_scenario": _scenario(restart=False)},
+}
+
+
+def arm_drive(name: str):
+    return drive("wgtt", SPEED_MPH, "udp", seed=SEED, udp_rate_mbps=UDP_RATE,
+                 duration_s=DURATION_S, check_invariants=True, **ARMS[name])
+
+
+def resilience_metrics(result):
+    """(pre_mbps, dip_mbps, recovery_s) around the scripted crash."""
+    centres, mbps = throughput_timeseries(
+        result.deliveries, CRASH_T - 2.0, result.duration_s, bin_s=BIN_S
+    )
+    pre = float(np.mean(mbps[centres < CRASH_T]))
+    post = mbps[centres >= CRASH_T]
+    post_centres = centres[centres >= CRASH_T]
+    dip_window = post[: int(2.0 / BIN_S)]
+    dip = float(dip_window.min()) if len(dip_window) else 0.0
+    threshold = RECOVERY_FRACTION * pre
+    recovery = float("inf")
+    for i in range(len(post) - 1):
+        if post[i] >= threshold and post[i + 1] >= threshold:
+            recovery = max(float(post_centres[i] - BIN_S / 2.0 - CRASH_T), 0.0)
+            break
+    return pre, dip, recovery
+
+
+def test_controller_failure_recovery_ladder(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: arm_drive(name) for name in ARMS},
+        rounds=1, iterations=1,
+    )
+    metrics = {name: resilience_metrics(r) for name, r in results.items()}
+    rows, bench_arms = [], {}
+    for name, result in results.items():
+        pre, dip, recovery = metrics[name]
+        counters = result.net.resilience_counters()
+        rows.append([name, fmt(pre), fmt(dip),
+                     "inf" if recovery == float("inf") else fmt(recovery)])
+        bench_arms[name] = {
+            "pre_crash_mbps": round(pre, 3),
+            "dip_mbps": round(dip, 3),
+            "recovery_s": None if recovery == float("inf") else round(recovery, 3),
+            "invariant_checks": counters.get("invariant_checks", 0),
+            "invariant_violations": counters.get("invariant_violations", 0),
+            "resilience": {k: v for k, v in sorted(counters.items()) if v},
+        }
+    print_table(
+        f"Controller crashes at t={CRASH_T}s ({SPEED_MPH:.0f} mph, "
+        f"{UDP_RATE:.0f} Mb/s UDP, seed {SEED})",
+        ["HA posture", "pre-crash (Mb/s)", "dip (Mb/s)", "recovery (s)"],
+        rows,
+    )
+
+    # Correctness first: the crash landed and every faulted arm passes
+    # the armed invariant monitors.
+    for name, result in results.items():
+        assert result.net.trace.count("fault_controller_crash") == 1, name
+        inv = result.net.invariants
+        assert inv is not None and inv.checks > 0, name
+        assert inv.ok, f"{name}: {inv.report()}"
+
+    # The failover arm actually failed over (once, to the standby).
+    failover_net = results["failover"].net
+    assert failover_net.cluster.active is failover_net.standby
+    assert failover_net.standby.takeovers == 1
+    # The degraded arm actually degraded and re-subordinated.
+    degraded_counters = results["degraded"].net.resilience_counters()
+    assert degraded_counters["degraded_entries"] > 0
+    assert degraded_counters["degraded_exits"] > 0
+
+    # The recovery ladder: checkpointed failover beats waiting out a cold
+    # restart behind degraded APs, which beats having no HA at all (the
+    # client starves -- new downlink has nowhere to enter the network).
+    fo, deg, none = (metrics[n][2] for n in ("failover", "degraded", "none"))
+    assert all(metrics[n][0] > 5.0 for n in ARMS), "arms not loaded pre-crash"
+    assert fo < 1.0, f"warm failover took {fo:.2f}s"
+    assert fo < deg, f"failover ({fo:.2f}s) not faster than degraded ({deg:.2f}s)"
+    assert deg >= RESTART_AFTER_S * 0.5, "degraded arm recovered before restart?"
+    assert deg < none, "cold restart never beat controller-less free fall"
+    assert none == float("inf"), "no-HA arm recovered without a controller"
+
+    payload = {
+        **bench_metadata(),
+        "experiment": {
+            "speed_mph": SPEED_MPH, "udp_rate_mbps": UDP_RATE, "seed": SEED,
+            "crash_t_s": CRASH_T, "restart_after_s": RESTART_AFTER_S,
+            "duration_s": DURATION_S, "bin_s": BIN_S,
+            "recovery_fraction": RECOVERY_FRACTION,
+        },
+        "arms": bench_arms,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"(wrote {os.path.basename(BENCH_PATH)})")

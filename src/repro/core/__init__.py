@@ -16,15 +16,24 @@ from .baseline import (
     Enhanced80211rPolicy,
     baseline_ap_params,
 )
+from .checkpoint import ClientCheckpoint, ControllerCheckpoint
 from .client import ClientParams, ClientRadio, MobileClient, RoamingPolicy
 from .controller import ClientState, ControllerParams, WgttController
 from .cyclic_queue import INDEX_BITS, INDEX_MODULO, CyclicQueue, ring_distance
 from .dedup import Deduplicator
+from .ha import ControllerCluster, HaParams, StandbyController, coerce_ha
 from .messages import (
+    ApHello,
     AssocNotify,
     AssocSync,
     BaForward,
+    CheckpointMsg,
+    ControllerHello,
     CsiReport,
+    DegradedEsnr,
+    DegradedReport,
+    FlushClient,
+    Heartbeat,
     ServingUpdate,
     StartMsg,
     StopMsg,
@@ -56,15 +65,28 @@ __all__ = [
     "ClientState",
     "ControllerParams",
     "WgttController",
+    "ClientCheckpoint",
+    "ControllerCheckpoint",
+    "ControllerCluster",
+    "HaParams",
+    "StandbyController",
+    "coerce_ha",
     "INDEX_BITS",
     "INDEX_MODULO",
     "CyclicQueue",
     "ring_distance",
     "Deduplicator",
+    "ApHello",
     "AssocNotify",
     "AssocSync",
     "BaForward",
+    "CheckpointMsg",
+    "ControllerHello",
     "CsiReport",
+    "DegradedEsnr",
+    "DegradedReport",
+    "FlushClient",
+    "Heartbeat",
     "ServingUpdate",
     "StartMsg",
     "StopMsg",

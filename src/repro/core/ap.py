@@ -24,11 +24,18 @@ from ..net.queues import DropTailQueue
 from ..phy.antenna import ParabolicAntenna
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
+from .ap_selection import EsnrWindow
 from .cyclic_queue import CyclicQueue
 from .messages import (
+    ApHello,
     AssocSync,
     BaForward,
+    ControllerHello,
     CsiReport,
+    DegradedEsnr,
+    DegradedReport,
+    FlushClient,
+    Heartbeat,
     ServingUpdate,
     StartMsg,
     StopMsg,
@@ -171,6 +178,8 @@ class BaseAp:
         #: False while crashed by fault injection; gates every data/control
         #: path so a dead AP is inert without unscheduling its timers.
         self.alive = True
+        #: Armed :class:`~repro.invariants.InvariantSuite` (or None).
+        self.invariants = None
         backhaul.register(node_id, self.on_backhaul)
         if self.params.beacon_interval_s:
             # Jittered start so the eight APs' beacons interleave.
@@ -240,6 +249,11 @@ class BaseAp:
         """
         if not self.alive:
             return
+        if self.invariants is not None:
+            now = self.sim.now
+            for client, pipe in self.pipelines.items():
+                if pipe.serving:
+                    self.invariants.on_serving_stop(now, self.node_id, client)
         self.alive = False
         self.radio.power_off()
 
@@ -257,6 +271,10 @@ class BaseAp:
         self.pipelines.clear()
         self.serving_map.clear()
         self.radio.power_on()
+        self._on_restored()
+
+    def _on_restored(self) -> None:
+        """Hook: liveness re-registration after a reboot (per AP flavour)."""
 
     # --------------------------------------------------------------- beacons
     def _beacon_tick(self) -> None:
@@ -314,11 +332,226 @@ class WgttAp(BaseAp):
         kwargs.setdefault("monitor", True)
         super().__init__(*args, **kwargs)
         self._last_csi_report: Dict[int, float] = {}
+        #: HA knobs (:class:`~repro.core.ha.HaParams`); None keeps every
+        #: degraded-mode code path unreachable on default drives.
+        self.ha = None
+        #: True while the AP serves autonomously (controller presumed dead).
+        self.degraded = False
+        self._hb_last = 0.0
+        self._ha_task = None
+        #: Local per-client ESNR windows (fed only when HA is armed);
+        #: degraded mode selects on these instead of controller CSI.
+        self._local_esnr: Dict[int, EsnrWindow] = {}
+        #: client -> {ap -> (time, esnr_db)} gossip heard while degraded.
+        self._gossip: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        self._last_local_handover: Dict[int, float] = {}
+        self.degraded_entries = 0
+        self.degraded_exits = 0
+        self.degraded_handovers = 0
+        self.flushes_applied = 0
 
     def restore(self) -> None:
         if not self.alive:
             self._last_csi_report.clear()
         super().restore()
+
+    def _on_restored(self) -> None:
+        # Stale degraded-mode bookkeeping from before the crash must not
+        # make the rebooted AP instantly declare the controller dead (the
+        # heartbeat clock restarts now), nor steer local handovers on
+        # pre-crash evidence.
+        self._hb_last = self.sim.now
+        self.degraded = False
+        self._local_esnr.clear()
+        self._gossip.clear()
+        self._last_local_handover.clear()
+        # Announce the reboot so the controller's liveness tracking
+        # readmits this AP immediately instead of holding it evicted
+        # until a CSI report happens to get through.
+        self.send_ctrl(self.controller_id, ApHello(ap=self.node_id))
+
+    # ------------------------------------------------------------- HA layer
+    def enable_ha(self, ha) -> None:
+        """Arm degraded-mode fallback (never called on default drives)."""
+        self.ha = ha
+        self._hb_last = self.sim.now
+        if ha.ap_degraded:
+            self._ha_task = self.sim.call_every(
+                ha.degraded_eval_interval_s, self._ha_tick
+            )
+
+    def _ha_tick(self) -> None:
+        if not self.alive or self.ha is None:
+            return
+        now = self.sim.now
+        if not self.degraded:
+            if now - self._hb_last > self.ha.dead_after_s:
+                self._enter_degraded(now)
+        else:
+            self._degraded_evaluate(now)
+
+    def _enter_degraded(self, now: float) -> None:
+        """Missed heartbeats: fall back to autonomous serving.
+
+        Keep transmitting for currently-served clients and run a local
+        gossip-fed handover (the Enhanced-802.11r discipline) until a
+        controller reappears.
+        """
+        self.degraded = True
+        self.degraded_entries += 1
+        self.trace.emit(now, "ap_degraded_enter", ap=self.node_id)
+
+    def _exit_degraded(self, now: float) -> None:
+        self.degraded = False
+        self.degraded_exits += 1
+        self._gossip.clear()
+        self.trace.emit(now, "ap_degraded_exit", ap=self.node_id)
+
+    def _on_heartbeat(self, msg: Heartbeat) -> None:
+        now = self.sim.now
+        self._hb_last = now
+        self.controller_id = msg.controller
+        if self.degraded:
+            # The ControllerHello may have been lost: re-subordinate off
+            # the heartbeat itself and report what we are serving.
+            self._exit_degraded(now)
+            self._send_degraded_reports(now)
+
+    def _on_controller_hello(self, msg: ControllerHello) -> None:
+        """A controller (re)appeared: re-register and reconcile.
+
+        Setting ``controller_id`` re-addresses the CSI/uplink tunnels to
+        the new incarnation (a standby has a different node id).  A cold
+        restart (``flush=True``) restarts index assignment at 0, so ring
+        state for clients this AP is *not* serving is discarded; serving
+        claims survive and are reported for the controller to arbitrate.
+        """
+        now = self.sim.now
+        self._hb_last = now
+        self.controller_id = msg.controller
+        if msg.flush:
+            for client, pipe in list(self.pipelines.items()):
+                if not pipe.serving:
+                    self._flush_client(client)
+        if self.degraded:
+            self._exit_degraded(now)
+        self._send_degraded_reports(now)
+
+    def _send_degraded_reports(self, now: float) -> None:
+        """Tell the controller what this AP is serving and where the ring is."""
+        for client, pipe in self.pipelines.items():
+            if not pipe.serving:
+                continue
+            if len(pipe.driver) > 0:
+                read_index = pipe.driver.peek().wgtt_index
+            else:
+                read_index = pipe.cyclic.read_index
+            window = self._local_esnr.get(client)
+            esnr = window.median(now) if window is not None else None
+            self.send_ctrl(
+                self.controller_id,
+                DegradedReport(
+                    client=client,
+                    ap=self.node_id,
+                    read_index=read_index,
+                    next_index=pipe.cyclic.next_insert_index,
+                    esnr_db=esnr if esnr is not None else -999.0,
+                ),
+            )
+
+    def _flush_client(self, client: Optional[int]) -> None:
+        """Drop all queue/serving state for ``client`` (None = every client)."""
+        if client is None:
+            for client_id in list(self.pipelines):
+                self._flush_client(client_id)
+            return
+        pipe = self.pipelines.get(client)
+        if pipe is None:
+            return
+        if pipe.serving and self.invariants is not None:
+            self.invariants.on_serving_stop(self.sim.now, self.node_id, client)
+        pipe.serving = False
+        pipe.driver.drain()
+        pipe.hw.drain()
+        self.radio.flush_retries(client)
+        # clear() keeps the insert cursor; a genuinely fresh ring is needed
+        # so a cold controller restarting at index 0 never meets leftovers.
+        pipe.cyclic = CyclicQueue()
+        self.serving_map.pop(client, None)
+        self.flushes_applied += 1
+
+    def _note_local_esnr(self, client: int, t: float, esnr: float) -> None:
+        window = self._local_esnr.get(client)
+        if window is None:
+            window = EsnrWindow(window_s=0.010)
+            self._local_esnr[client] = window
+        window.add(t, esnr)
+        if self.degraded:
+            msg = DegradedEsnr(client=client, ap=self.node_id,
+                               esnr_db=esnr, time=t)
+            for ap_id in self._other_ap_ids():
+                self.send_ctrl(ap_id, msg)
+
+    def _on_degraded_esnr(self, msg: DegradedEsnr) -> None:
+        self._gossip.setdefault(msg.client, {})[msg.ap] = (msg.time, msg.esnr_db)
+
+    def _degraded_evaluate(self, now: float) -> None:
+        """Local handover loop: hand clients to a clearly-stronger neighbour."""
+        ha = self.ha
+        for client, pipe in list(self.pipelines.items()):
+            if not pipe.serving:
+                continue
+            window = self._local_esnr.get(client)
+            mine = window.median(now) if window is not None else None
+            best_ap = None
+            best_esnr = None
+            for ap_id, (t, esnr) in self._gossip.get(client, {}).items():
+                if now - t > 0.25:
+                    continue  # stale gossip: that AP stopped hearing the client
+                if best_esnr is None or esnr > best_esnr:
+                    best_ap, best_esnr = ap_id, esnr
+            if best_ap is None:
+                continue
+            if mine is not None and best_esnr - mine < ha.degraded_margin_db:
+                continue
+            last = self._last_local_handover.get(client, -1e9)
+            if now - last < ha.degraded_hysteresis_s:
+                continue
+            self._local_handover(client, pipe, best_ap, now)
+
+    def _local_handover(self, client: int, pipe: ClientPipeline,
+                        new_ap: int, now: float) -> None:
+        """Degraded-mode handover: local stop(c) -> start(c, k) at the peer.
+
+        Reuses the exact stop semantics of :meth:`_handle_stop` (driver-head
+        k, drain, delayed StartMsg) so the index handoff stays lossless and
+        duplicate-free even with no controller arbitrating.
+        """
+        self._last_local_handover[client] = now
+        self.degraded_handovers += 1
+        self.trace.emit(now, "degraded_handover", ap=self.node_id,
+                        client=client, new=new_ap)
+        if self.invariants is not None:
+            self.invariants.on_serving_stop(now, self.node_id, client)
+        pipe.serving = False
+        if len(pipe.driver) > 0:
+            k = pipe.driver.peek().wgtt_index
+        else:
+            k = pipe.cyclic.read_index
+        n_filtered = len(pipe.driver)
+        pipe.driver.drain()
+        delay = (
+            self.params.stop_proc_base_s
+            + self.params.stop_proc_per_pkt_s * n_filtered
+            + float(self.rng.uniform(0.0, self.params.stop_proc_jitter_s))
+        )
+        self.sim.schedule(
+            delay, self.send_ctrl, new_ap, StartMsg(client=client, index=k)
+        )
+        self.sim.schedule(
+            self.params.stop_drain_window_s, self._flush_after_stop, client
+        )
+        self.serving_map[client] = new_ap
 
     # ------------------------------------------------------------ downlink
     def handle_downlink_data(self, packet: Packet, src: int) -> None:
@@ -353,6 +586,14 @@ class WgttAp(BaseAp):
                             client=msg.client)
         elif isinstance(msg, AssocSync):
             self.add_client(msg.client)
+        elif isinstance(msg, Heartbeat):
+            self._on_heartbeat(msg)
+        elif isinstance(msg, ControllerHello):
+            self._on_controller_hello(msg)
+        elif isinstance(msg, DegradedEsnr):
+            self._on_degraded_esnr(msg)
+        elif isinstance(msg, FlushClient):
+            self._flush_client(msg.client)
 
     def _handle_stop(self, msg: StopMsg) -> None:
         """stop(c): cease serving, hand the queue state to the new AP.
@@ -366,6 +607,8 @@ class WgttAp(BaseAp):
         pipe = self.pipelines.get(client)
         if pipe is None:
             pipe = self.add_client(client)
+        if pipe.serving and self.invariants is not None:
+            self.invariants.on_serving_stop(self.sim.now, self.node_id, client)
         pipe.serving = False
         if len(pipe.driver) > 0:
             k = pipe.driver.peek().wgtt_index
@@ -404,6 +647,8 @@ class WgttAp(BaseAp):
         pipe.driver.drain()
         pipe.hw.drain()
         pipe.cyclic.set_read_index(msg.index)
+        if not pipe.serving and self.invariants is not None:
+            self.invariants.on_serving_start(self.sim.now, self.node_id, client)
         pipe.serving = True
         self.serving_map[client] = self.node_id
         self.trace.emit(self.sim.now, "start_processed", ap=self.node_id,
@@ -434,7 +679,10 @@ class WgttAp(BaseAp):
         reading = link.measure_csi(t, self.node_id, client)
         # Feed the local rate controller too (a no-op for Minstrel; the
         # ESNR-oracle controller keys its MCS choice on this).
-        self.radio.peer(client).rate_ctrl.on_esnr(reading.esnr_db())
+        esnr = reading.esnr_db()
+        self.radio.peer(client).rate_ctrl.on_esnr(esnr)
+        if self.ha is not None:
+            self._note_local_esnr(client, t, esnr)
         self.send_ctrl(self.controller_id, CsiReport(reading=reading))
 
     # ------------------------------------------------------- BA forwarding

@@ -138,7 +138,21 @@ class BaselineController:
         self._uplink_handlers: Dict[int, UplinkHandler] = {}
         self._uplink_default: Optional[UplinkHandler] = None
         self.no_route_drops = 0
+        #: False while crashed by fault injection (controller_crash).
+        self.alive = True
+        self.downlink_dropped_dead = 0
         backhaul.register(node_id, self.on_backhaul)
+
+    # ----------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Fault injection: the route controller dies (no downlink routing)."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Cold restart: association routing is lost until clients
+        re-notify through their APs' next AssocNotify."""
+        self.alive = True
+        self.assoc_map.clear()
 
     def register_uplink_handler(self, flow_id: int, handler: UplinkHandler) -> None:
         self._uplink_handlers[flow_id] = handler
@@ -147,6 +161,9 @@ class BaselineController:
         self._uplink_default = handler
 
     def send_downlink(self, packet: Packet) -> None:
+        if not self.alive:
+            self.downlink_dropped_dead += 1
+            return
         ap_id = self.assoc_map.get(packet.dst)
         if ap_id is None:
             self.no_route_drops += 1
@@ -156,6 +173,8 @@ class BaselineController:
         self.backhaul.send(self.node_id, ap_id, packet)
 
     def on_backhaul(self, packet: Packet, src: int) -> None:
+        if not self.alive:
+            return
         if packet.protocol == "ctrl":
             msg = packet.payload
             if isinstance(msg, AssocNotify) and msg.ap is not None:

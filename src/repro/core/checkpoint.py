@@ -1,0 +1,171 @@
+"""Controller state checkpoints for warm-standby failover.
+
+A :class:`ControllerCheckpoint` is a compact, JSON-roundtrippable snapshot
+of everything a :class:`~repro.core.controller.WgttController` needs to
+resume switching for its clients after the primary dies:
+
+* per-client protocol state: serving AP, next 12-bit cyclic-queue index,
+  last switch time, an in-flight switch (if any), and counters;
+* per-client ESNR windows (the raw (time, esnr) readings each policy
+  tracker holds), so the standby's first selection is made on the same
+  evidence the primary had;
+* controller-level AP liveness bookkeeping (which APs were evicted).
+
+Capture deep-copies into plain values -- lists, dicts, floats -- so a
+checkpoint shipped over the simulated backhaul shares no live references
+with the primary, exactly like a serialized snapshot on a real wire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ClientCheckpoint", "ControllerCheckpoint"]
+
+#: Rough wire cost of one client's entry (fixed fields + a few window
+#: readings at 12 B each); used to size checkpoint packets on the LAN.
+_CLIENT_BASE_BYTES = 40
+_READING_BYTES = 12
+
+
+@dataclass
+class ClientCheckpoint:
+    """Snapshot of one :class:`~repro.core.controller.ClientState`."""
+
+    client: int
+    serving_ap: Optional[int] = None
+    next_index: int = 0
+    last_switch_time: float = -1e9
+    switch_count: int = 0
+    downlink_packets: int = 0
+    #: (old_ap, new_ap) of an in-flight switch; the timer does not survive
+    #: a failover -- the standby re-runs reconciliation instead.
+    in_flight: Optional[Tuple[Optional[int], int]] = None
+    #: ap_id -> [(time, esnr_db), ...] sliding-window contents.
+    windows: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "client": self.client,
+            "serving_ap": self.serving_ap,
+            "next_index": self.next_index,
+            "last_switch_time": self.last_switch_time,
+            "switch_count": self.switch_count,
+            "downlink_packets": self.downlink_packets,
+            "windows": {
+                str(ap): [[float(t), float(e)] for (t, e) in readings]
+                for ap, readings in self.windows.items()
+            },
+        }
+        if self.in_flight is not None:
+            out["in_flight"] = list(self.in_flight)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClientCheckpoint":
+        in_flight = data.get("in_flight")
+        return cls(
+            client=int(data["client"]),
+            serving_ap=data.get("serving_ap"),
+            next_index=int(data.get("next_index", 0)),
+            last_switch_time=float(data.get("last_switch_time", -1e9)),
+            switch_count=int(data.get("switch_count", 0)),
+            downlink_packets=int(data.get("downlink_packets", 0)),
+            in_flight=None if in_flight is None else (in_flight[0], in_flight[1]),
+            windows={
+                int(ap): [(float(t), float(e)) for (t, e) in readings]
+                for ap, readings in data.get("windows", {}).items()
+            },
+        )
+
+    def wire_bytes(self) -> int:
+        n_readings = sum(len(r) for r in self.windows.values())
+        return _CLIENT_BASE_BYTES + _READING_BYTES * n_readings
+
+
+@dataclass
+class ControllerCheckpoint:
+    """One consistent snapshot of the controller's protocol state."""
+
+    time: float
+    epoch: int
+    ap_ids: List[int] = field(default_factory=list)
+    evicted_aps: List[int] = field(default_factory=list)
+    clients: List[ClientCheckpoint] = field(default_factory=list)
+
+    # --------------------------------------------------------------- capture
+    @classmethod
+    def capture(cls, controller) -> "ControllerCheckpoint":
+        """Snapshot a live :class:`WgttController` into plain values."""
+        clients: List[ClientCheckpoint] = []
+        for client_id, state in sorted(controller.clients.items()):
+            windows: Dict[int, List[Tuple[float, float]]] = {}
+            tracker = getattr(state.policy, "tracker", None)
+            if tracker is not None:
+                for ap_id, window in tracker._windows.items():
+                    windows[ap_id] = [
+                        (float(t), float(e)) for (t, e) in window._readings
+                    ]
+            in_flight = None
+            if state.switching is not None:
+                old_ap, new_ap = state.switching[0], state.switching[1]
+                in_flight = (old_ap, new_ap)
+            clients.append(
+                ClientCheckpoint(
+                    client=client_id,
+                    serving_ap=state.serving_ap,
+                    next_index=state.next_index,
+                    last_switch_time=state.last_switch_time,
+                    switch_count=state.switch_count,
+                    downlink_packets=state.downlink_packets,
+                    in_flight=in_flight,
+                    windows=windows,
+                )
+            )
+        return cls(
+            time=float(controller.sim.now),
+            epoch=int(controller.epoch),
+            ap_ids=list(controller.ap_ids),
+            evicted_aps=sorted(controller._evicted),
+            clients=clients,
+        )
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "epoch": self.epoch,
+            "ap_ids": list(self.ap_ids),
+            "evicted_aps": list(self.evicted_aps),
+            "clients": [c.to_dict() for c in self.clients],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ControllerCheckpoint":
+        return cls(
+            time=float(data["time"]),
+            epoch=int(data["epoch"]),
+            ap_ids=[int(a) for a in data.get("ap_ids", [])],
+            evicted_aps=[int(a) for a in data.get("evicted_aps", [])],
+            clients=[ClientCheckpoint.from_dict(c)
+                     for c in data.get("clients", [])],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ControllerCheckpoint":
+        return cls.from_dict(json.loads(text))
+
+    def wire_bytes(self) -> int:
+        """Approximate encoded size (used for backhaul serialization cost)."""
+        return 24 + 4 * len(self.ap_ids) + sum(c.wire_bytes() for c in self.clients)
+
+    def client(self, client_id: int) -> Optional[ClientCheckpoint]:
+        for entry in self.clients:
+            if entry.client == client_id:
+                return entry
+        return None

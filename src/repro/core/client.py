@@ -127,6 +127,8 @@ class MobileClient:
         self.policy = policy
         if policy is not None:
             policy.attach(self)
+        #: Armed :class:`~repro.invariants.InvariantSuite` (or None).
+        self.invariants = None
         self.downlink_received = 0
         self.uplink_enqueued = 0
         self.uplink_dropped = 0
@@ -151,6 +153,8 @@ class MobileClient:
 
     def on_downlink(self, packet: Packet, src_ap: int, t: float) -> None:
         self.downlink_received += 1
+        if self.invariants is not None:
+            self.invariants.on_delivery(t, self.node_id, packet)
         self.trace.emit(
             t, "dl_delivered",
             client=self.node_id, flow=packet.flow_id, seq=packet.seq,

@@ -31,10 +31,17 @@ from ..net.ethernet import Backhaul
 from ..net.packet import Packet
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
-from .cyclic_queue import INDEX_MODULO
+from .checkpoint import ControllerCheckpoint
+from .cyclic_queue import INDEX_MODULO, ring_distance
 from .dedup import Deduplicator
 from .messages import (
+    ApHello,
+    CheckpointMsg,
+    ControllerHello,
     CsiReport,
+    DegradedReport,
+    FlushClient,
+    Heartbeat,
     ServingUpdate,
     StartMsg,
     StopMsg,
@@ -93,6 +100,11 @@ class ClientState:
     switch_count: int = 0
     no_coverage_drops: int = 0
     downlink_packets: int = 0
+    #: True between a failover/cold-restart restore and the arrival of the
+    #: serving AP's :class:`~repro.core.messages.DegradedReport` -- the
+    #: restored serving/index state is a possibly-stale checkpoint view
+    #: until the live AP confirms it.
+    awaiting_reconcile: bool = False
 
 
 class WgttController:
@@ -130,6 +142,43 @@ class WgttController:
         self.ap_last_seen: Dict[int, float] = {}
         #: APs currently evicted by the liveness timeout.
         self._evicted: set = set()
+        #: False while crashed by fault injection (HA layer); every data
+        #: and control path is gated on it, so a dead controller is inert
+        #: without unscheduling its timers.
+        self.alive = True
+        #: Controller incarnation.  A warm-standby takeover or a cold
+        #: restart bumps it; the invariant monitors key index-monotonicity
+        #: checks on it, and heartbeats carry it so APs can tell a new
+        #: controller from a recovered one.
+        self.epoch = 0
+        #: HA knobs (a :class:`~repro.core.ha.HaParams`); None keeps every
+        #: HA code path unreachable -- the default drives never see it.
+        self.ha = None
+        #: The :class:`~repro.core.ha.ControllerCluster` when HA built a
+        #: warm standby (mirrors uplink-handler registrations).
+        self.cluster = None
+        #: Armed :class:`~repro.invariants.InvariantSuite` (or None).
+        self.invariants = None
+        #: client -> PolicyContext, retained so a restore after a cold
+        #: restart can rebind trajectory knowledge to fresh policies.
+        self._contexts: Dict[int, "PolicyContext"] = {}
+        self._standby_id: Optional[int] = None
+        self._hb_seq = 0
+        self._hb_task = None
+        #: Downlink is held until this time after a takeover/restart while
+        #: DegradedReports reconcile serving/index state.
+        self._reconcile_until = -1.0
+        self._reconcile_timer = None
+        #: client -> {ap -> DegradedReport}: competing serving claims seen
+        #: since the last (re)start; the highest-ESNR claimant wins.
+        self._degraded_claims: Dict[int, Dict[int, DegradedReport]] = {}
+        # HA bookkeeping surfaced through DriveSummary.resilience.
+        self.heartbeats_sent = 0
+        self.checkpoints_written = 0
+        self.reconciled_clients = 0
+        self.reconcile_flushes = 0
+        self.downlink_dropped_dead = 0
+        self.downlink_dropped_reconcile = 0
         backhaul.register(node_id, self.on_backhaul)
 
     # ----------------------------------------------------------------- setup
@@ -187,13 +236,22 @@ class WgttController:
             self.clients[client_id] = state
         if context is not None:
             state.policy.bind(context)
+            self._contexts[client_id] = context
         return state
 
     def register_uplink_handler(self, flow_id: int, handler: UplinkHandler) -> None:
         self._uplink_handlers[flow_id] = handler
+        if self.cluster is not None:
+            peer = self.cluster.other(self)
+            if peer is not None:
+                peer._uplink_handlers[flow_id] = handler
 
     def set_default_uplink_handler(self, handler: UplinkHandler) -> None:
         self._uplink_default = handler
+        if self.cluster is not None:
+            peer = self.cluster.other(self)
+            if peer is not None:
+                peer._uplink_default = handler
 
     # -------------------------------------------------------------- downlink
     def send_downlink(self, packet: Packet) -> None:
@@ -203,9 +261,19 @@ class WgttController:
         no AP in range (client outside coverage) the packet is dropped,
         exactly as a real out-of-coverage client loses traffic.
         """
+        if not self.alive:
+            self.downlink_dropped_dead += 1
+            return
+        now = self.sim.now
+        if now < self._reconcile_until:
+            # Post-takeover reconciliation: index state may still be a
+            # stale checkpoint view, so assigning now risks colliding
+            # with ring slots the APs already hold.  UDP loses a few
+            # packets; TCP retransmits.
+            self.downlink_dropped_reconcile += 1
+            return
         client = packet.dst
         state = self.add_client(client)
-        now = self.sim.now
         self._sweep_dead_aps(now)
         targets = state.policy.in_range_aps(now)
         if self._evicted:
@@ -227,6 +295,10 @@ class WgttController:
         packet.wgtt_index = state.next_index
         state.next_index = (state.next_index + 1) % INDEX_MODULO
         state.downlink_packets += 1
+        if self.invariants is not None:
+            self.invariants.on_index_assigned(
+                now, client, self.epoch, packet.wgtt_index
+            )
         for ap_id in targets:
             clone = copy.copy(packet)
             clone.tunnel = []
@@ -235,6 +307,8 @@ class WgttController:
 
     # ---------------------------------------------------------------- uplink
     def on_backhaul(self, packet: Packet, src: int) -> None:
+        if not self.alive:
+            return
         if packet.protocol == "ctrl":
             self._handle_ctrl(packet.payload, src)
             return
@@ -257,6 +331,14 @@ class WgttController:
             self._on_csi(msg, src)
         elif isinstance(msg, SwitchAck):
             self._on_switch_ack(msg)
+        elif isinstance(msg, ApHello):
+            self._on_ap_hello(msg, src)
+        elif isinstance(msg, DegradedReport):
+            self._on_degraded_report(msg)
+        elif isinstance(msg, Heartbeat):
+            self._on_peer_heartbeat(msg)
+        elif isinstance(msg, CheckpointMsg):
+            self._on_checkpoint(msg)
 
     def _on_csi(self, report: CsiReport, src_ap: int) -> None:
         reading = report.reading
@@ -322,6 +404,8 @@ class WgttController:
             self._send(old_ap, StopMsg(client=client, new_ap=new_ap, attempt=attempt))
 
     def _switch_timeout(self, client: int, attempt: int) -> None:
+        if not self.alive:
+            return
         state = self.clients.get(client)
         if state is None or state.switching is None:
             return
@@ -381,6 +465,194 @@ class WgttController:
         self.backhaul.send(
             self.node_id, dst, ctrl_packet(self.node_id, dst, msg, self.sim.now)
         )
+
+    # --------------------------------------------------------------- HA layer
+    def enable_ha(self, ha, standby_id: Optional[int] = None) -> None:
+        """Arm the HA layer: heartbeat APs (and checkpoint to a standby).
+
+        Never called for default drives -- every timer and message below
+        exists only once the builder passes ``ExperimentConfig(ha=...)``.
+        """
+        self.ha = ha
+        self._standby_id = standby_id
+        self._hb_task = self.sim.call_every(
+            ha.heartbeat_interval_s, self._heartbeat_tick
+        )
+
+    def _should_beat(self) -> bool:
+        if not self.alive:
+            return False
+        # Never beat while another controller in the cluster is active
+        # (a recovered primary after a standby takeover stays passive --
+        # failback is not supported).
+        return self.cluster is None or self.cluster.active is self
+
+    def _heartbeat_tick(self) -> None:
+        if not self._should_beat():
+            return
+        self._hb_seq += 1
+        self.heartbeats_sent += 1
+        beat = Heartbeat(controller=self.node_id, epoch=self.epoch,
+                         seq=self._hb_seq)
+        for ap_id in self.ap_ids:
+            self._send(ap_id, beat)
+        if self._standby_id is not None:
+            self._send(self._standby_id, beat)
+            interval = max(1, self.ha.checkpoint_interval_beats)
+            if self._hb_seq % interval == 0:
+                snapshot = ControllerCheckpoint.capture(self)
+                self.checkpoints_written += 1
+                self._send(self._standby_id, CheckpointMsg(checkpoint=snapshot))
+
+    def fail(self) -> None:
+        """Fault injection: the controller process dies.
+
+        Timers stay scheduled (the simulator has no ungrouped cancel) but
+        every callback and message path is gated on ``alive``.
+        """
+        self.alive = False
+
+    def restore(self) -> None:
+        """Fault injection: the controller process comes back up.
+
+        A cold restart loses all volatile protocol state: client records,
+        in-flight switches, index positions.  The new incarnation bumps
+        its epoch, tells every AP to flush stale rings (a cold controller
+        reuses index numbers from 0, so surviving ring contents would
+        replay as duplicates), and opens a reconciliation window during
+        which degraded APs report what they were serving.
+        """
+        self.alive = True
+        if self.cluster is not None and self.cluster.active is not self:
+            # The standby took over while we were down; stay passive.
+            return
+        self.epoch += 1
+        self._hb_seq = 0
+        for state in self.clients.values():
+            if state.switching is not None:
+                state.switching[3].cancel()
+        self.clients.clear()
+        self._degraded_claims.clear()
+        self._evicted.clear()
+        now = self.sim.now
+        for ap_id in self.ap_ids:
+            self.ap_last_seen[ap_id] = now
+        hello = ControllerHello(controller=self.node_id, epoch=self.epoch,
+                                flush=True)
+        for ap_id in self.ap_ids:
+            self._send(ap_id, hello)
+        if self.ha is not None:
+            self._open_reconcile_window()
+
+    def _open_reconcile_window(self) -> None:
+        """Hold downlink until degraded APs have had a chance to report."""
+        window = self.ha.reconcile_window_s
+        self._reconcile_until = self.sim.now + window
+        if self._reconcile_timer is not None:
+            self._reconcile_timer.cancel()
+        self._reconcile_timer = self.sim.schedule(window, self._finish_reconcile)
+
+    def _on_ap_hello(self, msg: ApHello, src: int) -> None:
+        """A rebooted AP announced itself: readmit it immediately."""
+        now = self.sim.now
+        self.ap_last_seen[msg.ap] = now
+        if msg.ap in self._evicted:
+            self._evicted.discard(msg.ap)
+            self.trace.emit(now, "ap_readmitted", ap=msg.ap)
+
+    def _on_peer_heartbeat(self, msg: Heartbeat) -> None:
+        """Heartbeat from another controller (the standby overrides this)."""
+
+    def _on_checkpoint(self, msg: CheckpointMsg) -> None:
+        """Checkpoint stream from the primary (the standby overrides this)."""
+
+    def _on_degraded_report(self, msg: DegradedReport) -> None:
+        """An AP reported serving state held through a controller outage.
+
+        Resolves three things: *who* serves the client (highest-ESNR
+        claimant when a partition produced several), *where* index
+        assignment resumes (the claimant's ``next_index``, so fresh
+        packets never collide with stored ring slots), and the end of the
+        client's ``awaiting_reconcile`` limbo.
+        """
+        if self.ha is None:
+            return
+        now = self.sim.now
+        state = self.add_client(msg.client)
+        claims = self._degraded_claims.setdefault(msg.client, {})
+        claims[msg.ap] = msg
+        best_ap = max(claims, key=lambda ap: claims[ap].esnr_db)
+        if msg.ap != best_ap:
+            # A stronger AP already holds this client: clear the weaker
+            # claimant's ring so it can never replay stale packets.
+            self._send(msg.ap, FlushClient(client=msg.client))
+            return
+        for ap_id in claims:
+            if ap_id != best_ap:
+                self._send(ap_id, FlushClient(client=msg.client))
+        adopt = False
+        if state.awaiting_reconcile or now <= self._reconcile_until:
+            # Fresh takeover/restart: the report is ground truth, however
+            # far the checkpointed (or zeroed) index view lags it.
+            adopt = True
+        elif (msg.next_index != state.next_index
+              and ring_distance(state.next_index, msg.next_index)
+              < INDEX_MODULO // 2):
+            # Late report (e.g. a healed partition): only adopt a position
+            # ahead of ours -- moving backward would reuse live indices.
+            adopt = True
+        if adopt and msg.next_index != state.next_index:
+            state.next_index = msg.next_index
+            if self.invariants is not None:
+                self.invariants.on_index_adopted(
+                    now, msg.client, self.epoch, msg.next_index
+                )
+        if state.switching is not None:
+            state.switching[3].cancel()
+            state.switching = None
+        state.serving_ap = msg.ap
+        state.last_switch_time = now
+        if state.awaiting_reconcile:
+            state.awaiting_reconcile = False
+            self.reconciled_clients += 1
+        for ap_id in self.ap_ids:
+            self._send(ap_id, ServingUpdate(client=msg.client, ap=msg.ap))
+
+    def _finish_reconcile(self) -> None:
+        """Close the post-restart window; flush clients nobody vouched for.
+
+        A client still ``awaiting_reconcile`` here means its checkpointed
+        serving AP never confirmed (report lost, or the AP died with the
+        primary).  The restored serving/index view cannot be trusted --
+        acting on it risks a stale ``k`` replaying ring history -- so the
+        client's ring is flushed everywhere and service re-bootstraps
+        from the next CSI report.
+        """
+        if not self.alive:
+            return
+        self._reconcile_timer = None
+        for client, state in self.clients.items():
+            if not state.awaiting_reconcile:
+                continue
+            state.awaiting_reconcile = False
+            state.serving_ap = None
+            if state.switching is not None:
+                state.switching[3].cancel()
+                state.switching = None
+            self.reconcile_flushes += 1
+            for ap_id in self.ap_ids:
+                self._send(ap_id, FlushClient(client=client))
+
+    def resilience_counters(self) -> Dict[str, int]:
+        """HA bookkeeping surfaced through ``DriveSummary.resilience``."""
+        return {
+            "heartbeats_sent": self.heartbeats_sent,
+            "checkpoints_written": self.checkpoints_written,
+            "reconciled_clients": self.reconciled_clients,
+            "reconcile_flushes": self.reconcile_flushes,
+            "downlink_dropped_dead": self.downlink_dropped_dead,
+            "downlink_dropped_reconcile": self.downlink_dropped_reconcile,
+        }
 
     # ------------------------------------------------------------- inspection
     def serving_ap(self, client: int) -> Optional[int]:

@@ -76,6 +76,18 @@ class CyclicQueue:
             return (self._newest_index + 1) % INDEX_MODULO
         return 0
 
+    @property
+    def next_insert_index(self) -> int:
+        """Index at which the controller's next downlink packet would land.
+
+        This is what a degraded AP reports as the safe resume point for a
+        recovering controller's index assignment: everything at or after
+        it is guaranteed not to collide with stored ring contents.
+        """
+        if self.inserted:
+            return (self._newest_index + 1) % INDEX_MODULO
+        return 0
+
     def __len__(self) -> int:
         self._drop_stale_head()
         return len(self._pending)

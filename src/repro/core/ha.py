@@ -1,0 +1,302 @@
+"""Controller high availability: warm standby, failover, and HA knobs.
+
+The WGTT controller of the paper is a single process on the backhaul
+LAN -- a single point of failure for every picocell behind it.  This
+module adds the recovery machinery around the unchanged protocol core:
+
+* :class:`HaParams` -- the knob set (heartbeat cadence, failure
+  detector threshold, checkpoint cadence, reconciliation window, and
+  the AP degraded-mode thresholds);
+* :class:`StandbyController` -- a passive
+  :class:`~repro.core.controller.WgttController` that consumes the
+  primary's heartbeat/checkpoint stream and takes over when the
+  primary goes quiet, restoring per-client protocol state from the
+  last :class:`~repro.core.checkpoint.ControllerCheckpoint`;
+* :class:`ControllerCluster` -- the pair, with a single ``active``
+  pointer that routes downlink entry and prevents dual-active
+  operation (a recovered primary stays passive after a takeover;
+  failback is deliberately unsupported).
+
+Everything here is strictly opt-in: no drive instantiates any of it
+unless ``ExperimentConfig(ha=...)`` is set, so default drives remain
+bit-identical to the golden digests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..net.packet import Packet
+from .checkpoint import ControllerCheckpoint
+from .controller import WgttController
+from .messages import CheckpointMsg, ControllerHello, Heartbeat
+
+__all__ = ["HaParams", "coerce_ha", "StandbyController", "ControllerCluster"]
+
+
+@dataclass(frozen=True)
+class HaParams:
+    """High-availability tuning knobs.
+
+    ``heartbeat_interval_s`` paces the controller liveness beacons (and,
+    scaled by ``checkpoint_interval_beats``, the checkpoint stream to the
+    standby).  A peer that misses ``miss_threshold`` consecutive beats
+    declares the controller dead: the standby takes over, and APs enter
+    degraded mode.  ``reconcile_window_s`` is how long a fresh controller
+    incarnation holds downlink while degraded APs report the serving/index
+    state they carried through the outage.
+    """
+
+    heartbeat_interval_s: float = 0.05
+    miss_threshold: int = 3
+    #: Build a warm standby controller (False = degraded-mode-only HA).
+    standby: bool = True
+    #: Let APs fall back to autonomous serving when the controller dies.
+    ap_degraded: bool = True
+    #: Checkpoint every N heartbeats (1 = every beat).
+    checkpoint_interval_beats: int = 1
+    reconcile_window_s: float = 0.02
+    #: Local-handover margin while degraded: another AP's gossiped ESNR
+    #: must beat the serving AP's own by this much (dB) to take over.
+    degraded_margin_db: float = 3.0
+    #: Minimum spacing between degraded-mode local handovers.
+    degraded_hysteresis_s: float = 0.2
+    #: Cadence of the degraded-mode local selection loop at each AP.
+    degraded_eval_interval_s: float = 0.05
+
+    def __post_init__(self):
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive, "
+                f"got {self.heartbeat_interval_s}"
+            )
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        if self.checkpoint_interval_beats < 1:
+            raise ValueError(
+                f"checkpoint_interval_beats must be >= 1, "
+                f"got {self.checkpoint_interval_beats}"
+            )
+        if self.reconcile_window_s < 0:
+            raise ValueError(
+                f"reconcile_window_s must be >= 0, got {self.reconcile_window_s}"
+            )
+        if self.degraded_eval_interval_s <= 0:
+            raise ValueError(
+                f"degraded_eval_interval_s must be positive, "
+                f"got {self.degraded_eval_interval_s}"
+            )
+
+    @property
+    def dead_after_s(self) -> float:
+        """Silence span after which a peer declares the controller dead."""
+        return self.miss_threshold * self.heartbeat_interval_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "miss_threshold": self.miss_threshold,
+            "standby": self.standby,
+            "ap_degraded": self.ap_degraded,
+            "checkpoint_interval_beats": self.checkpoint_interval_beats,
+            "reconcile_window_s": self.reconcile_window_s,
+            "degraded_margin_db": self.degraded_margin_db,
+            "degraded_hysteresis_s": self.degraded_hysteresis_s,
+            "degraded_eval_interval_s": self.degraded_eval_interval_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HaParams":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown HaParams field(s): {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**data)
+
+
+def coerce_ha(value) -> Optional[HaParams]:
+    """Accept None / bool / dict / JSON string / HaParams.
+
+    The string form is what sweeps and the CLI carry (job overrides must
+    be scalars); it parses as JSON to a bool or a field dict.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return HaParams()
+    if isinstance(value, HaParams):
+        return value
+    if isinstance(value, str):
+        return coerce_ha(json.loads(value))
+    if isinstance(value, dict):
+        return HaParams.from_dict(value)
+    raise TypeError(f"cannot interpret {value!r} as HA parameters")
+
+
+class ControllerCluster:
+    """A primary/standby controller pair with a single active pointer.
+
+    The cluster is the builder's downlink entry point when HA runs with
+    a standby: server traffic always flows to whichever controller is
+    currently active, and uplink-handler registrations on the primary
+    are mirrored to the peer (see ``register_uplink_handler``).
+    """
+
+    def __init__(self, primary: WgttController, standby: "StandbyController"):
+        self.primary = primary
+        self.standby = standby
+        self._active: WgttController = primary
+        self.failovers = 0
+        primary.cluster = self
+        standby.cluster = self
+
+    @property
+    def active(self) -> WgttController:
+        return self._active
+
+    def promote(self, controller: WgttController) -> None:
+        """Make ``controller`` the active member (standby takeover)."""
+        if controller is not self._active:
+            self._active = controller
+            self.failovers += 1
+
+    def other(self, controller: WgttController) -> Optional[WgttController]:
+        if controller is self.primary:
+            return self.standby
+        if controller is self.standby:
+            return self.primary
+        return None
+
+    # Downlink entry point (mirrors WgttController.send_downlink).
+    def send_downlink(self, packet: Packet) -> None:
+        self._active.send_downlink(packet)
+
+    def serving_ap(self, client: int) -> Optional[int]:
+        return self._active.serving_ap(client)
+
+
+class StandbyController(WgttController):
+    """A warm-standby controller.
+
+    Passive until takeover: its ``on_backhaul`` consumes only the
+    primary's heartbeat/checkpoint stream and drops everything else (in
+    particular it never answers CSI reports or assigns indices, so it
+    cannot dual-drive the APs).  A watchdog ticking at the heartbeat
+    interval declares the primary dead after
+    ``miss_threshold * heartbeat_interval_s`` of silence and promotes
+    itself: restore from the last checkpoint, re-register with the APs
+    via :class:`~repro.core.messages.ControllerHello`, reconcile with
+    any degraded APs, and resume switching.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last_primary_beat: float = 0.0
+        self._checkpoint: Optional[ControllerCheckpoint] = None
+        self._watchdog = None
+        self.takeovers = 0
+        self.checkpoints_received = 0
+        #: Simulation time of the last completed takeover (or None).
+        self.takeover_time: Optional[float] = None
+
+    # ------------------------------------------------------------ passivity
+    @property
+    def is_active(self) -> bool:
+        return self.cluster is not None and self.cluster.active is self
+
+    def on_backhaul(self, packet: Packet, src: int) -> None:
+        if not self.is_active:
+            if packet.protocol == "ctrl":
+                msg = packet.payload
+                if isinstance(msg, Heartbeat):
+                    self._on_peer_heartbeat(msg)
+                elif isinstance(msg, CheckpointMsg):
+                    self._on_checkpoint(msg)
+            return
+        super().on_backhaul(packet, src)
+
+    def _on_peer_heartbeat(self, msg: Heartbeat) -> None:
+        self._last_primary_beat = self.sim.now
+
+    def _on_checkpoint(self, msg: CheckpointMsg) -> None:
+        self._checkpoint = msg.checkpoint
+        self.checkpoints_received += 1
+        self._last_primary_beat = self.sim.now
+
+    # ------------------------------------------------------------- watchdog
+    def enable_ha(self, ha, standby_id: Optional[int] = None) -> None:
+        super().enable_ha(ha, standby_id=standby_id)
+        self._last_primary_beat = self.sim.now
+        self._watchdog = self.sim.call_every(
+            ha.heartbeat_interval_s, self._watch_primary
+        )
+
+    def _watch_primary(self) -> None:
+        if not self.alive or self.is_active:
+            return
+        if self.sim.now - self._last_primary_beat > self.ha.dead_after_s:
+            self._takeover()
+
+    def restore(self) -> None:
+        # A standby rebooted by fault injection must not read its own
+        # downtime as primary silence and usurp a healthy primary.
+        self._last_primary_beat = self.sim.now
+        super().restore()
+
+    # -------------------------------------------------------------- takeover
+    def _takeover(self) -> None:
+        """Promote to active and restore state from the last checkpoint."""
+        now = self.sim.now
+        self.takeovers += 1
+        self.takeover_time = now
+        self.cluster.promote(self)
+        snapshot = self._checkpoint
+        self.epoch = (snapshot.epoch + 1) if snapshot is not None else self.epoch + 1
+        self._hb_seq = 0
+        self.clients.clear()
+        self._degraded_claims.clear()
+        self._evicted = set(snapshot.evicted_aps) if snapshot is not None else set()
+        for ap_id in self.ap_ids:
+            # The checkpointed last-seen times are stale by the whole
+            # outage; restart the liveness clocks rather than evicting
+            # every AP on the first sweep.
+            self.ap_last_seen[ap_id] = now
+        if snapshot is not None:
+            for entry in snapshot.clients:
+                state = self.add_client(
+                    entry.client, context=self._contexts.get(entry.client)
+                )
+                state.serving_ap = entry.serving_ap
+                state.next_index = entry.next_index
+                state.last_switch_time = entry.last_switch_time
+                state.switch_count = entry.switch_count
+                state.downlink_packets = entry.downlink_packets
+                # The restored view is checkpoint-stale until the serving
+                # AP's DegradedReport confirms (or corrects) it.
+                state.awaiting_reconcile = True
+                tracker = state.policy.tracker
+                if tracker is not None:
+                    for ap_id, readings in sorted(entry.windows.items()):
+                        for t, esnr in readings:
+                            tracker.update(ap_id, t, esnr)
+                for ap_id in self._evicted:
+                    state.policy.drop_ap(ap_id)
+        self.trace.emit(now, "controller_failover", node=self.node_id,
+                        epoch=self.epoch,
+                        clients=len(self.clients))
+        # Re-register with the APs.  flush=False: the checkpoint restored
+        # real index positions, so surviving ring contents are still valid
+        # (that is the whole point of a warm standby).
+        hello = ControllerHello(controller=self.node_id, epoch=self.epoch,
+                                flush=False)
+        for ap_id in self.ap_ids:
+            self._send(ap_id, hello)
+        if self.ha is not None:
+            self._open_reconcile_window()

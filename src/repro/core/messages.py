@@ -23,14 +23,24 @@ __all__ = [
     "AssocSync",
     "FtRequest",
     "AssocNotify",
+    "Heartbeat",
+    "CheckpointMsg",
+    "ControllerHello",
+    "ApHello",
+    "DegradedReport",
+    "DegradedEsnr",
+    "FlushClient",
     "ctrl_packet",
     "CTRL_PACKET_BYTES",
     "CSI_PACKET_BYTES",
+    "CHECKPOINT_BASE_BYTES",
 ]
 
 CTRL_PACKET_BYTES = 64
 #: 56 subcarriers x (1B real + 1B imag) + RSSI/metadata, per the CSI tool.
 CSI_PACKET_BYTES = 180
+#: Fixed framing of a checkpoint packet; per-client payload adds to it.
+CHECKPOINT_BASE_BYTES = 128
 
 
 @dataclass(frozen=True)
@@ -99,6 +109,107 @@ class AssocSync:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Controller -> AP/standby: liveness beacon of the HA layer.
+
+    ``epoch`` identifies the controller incarnation (a takeover or a cold
+    restart bumps it); ``seq`` counts beats within an epoch.  APs and the
+    warm standby key their failure detectors on the arrival times of
+    these messages.
+    """
+
+    controller: int
+    epoch: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Primary -> standby: one :class:`~repro.core.checkpoint.ControllerCheckpoint`.
+
+    The checkpoint travels as plain values (the capture deep-copies into
+    JSON-safe structures), so the standby holds no live references into
+    the primary's state.
+    """
+
+    checkpoint: object  # ControllerCheckpoint (kept loose to avoid a cycle)
+
+
+@dataclass(frozen=True)
+class ControllerHello:
+    """(Re)starting controller -> all APs: subordinate to me.
+
+    Sent on warm-standby takeover and on primary cold restart.  ``flush``
+    asks APs to discard all per-client queue state first -- a cold-started
+    controller restarts index assignment at 0, so stale ring contents
+    from the previous incarnation must not survive (they would replay as
+    duplicate deliveries).  A warm standby restores index state from the
+    checkpoint and sends ``flush=False``.
+    """
+
+    controller: int
+    epoch: int
+    flush: bool = False
+
+
+@dataclass(frozen=True)
+class ApHello:
+    """Rebooted AP -> controller: I am back on the backhaul.
+
+    Refreshes the controller's liveness bookkeeping immediately so the
+    restarted AP is not held in the evicted set until its first CSI
+    report happens to get through.
+    """
+
+    ap: int
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """AP -> controller: serving state held through a controller outage.
+
+    Sent by an AP when a controller (re)appears while the AP is serving
+    ``client`` autonomously.  ``next_index`` is the ring position at which
+    controller index assignment may resume without colliding with stored
+    packets; ``esnr_db`` lets the controller break ties when two APs both
+    claim the same client after a partition.
+    """
+
+    client: int
+    ap: int
+    read_index: int
+    next_index: int
+    esnr_db: float
+
+
+@dataclass(frozen=True)
+class DegradedEsnr:
+    """Degraded AP -> degraded AP: lightweight ESNR gossip.
+
+    While the controller is dark, APs in degraded mode share their local
+    windowed ESNR per heard client so the serving AP can run a local
+    RSSI-threshold handover (the Enhanced-802.11r fallback discipline).
+    """
+
+    client: int
+    ap: int
+    esnr_db: float
+    time: float
+
+
+@dataclass(frozen=True)
+class FlushClient:
+    """Controller -> AP: drop all queue/serving state for ``client``.
+
+    ``client=None`` flushes every client (cold-restart reset).  Used to
+    resolve serving-AP conflicts after a partition and to clear stale
+    rings before a cold controller incarnation reuses index numbers.
+    """
+
+    client: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class FtRequest:
     """Old AP -> target AP (baseline): over-the-DS fast-transition request.
 
@@ -120,7 +231,14 @@ class AssocNotify:
 def ctrl_packet(src: int, dst: int, payload, t: float, size: Optional[int] = None) -> Packet:
     """Wrap a control message in a backhaul packet."""
     if size is None:
-        size = CSI_PACKET_BYTES if isinstance(payload, CsiReport) else CTRL_PACKET_BYTES
+        if isinstance(payload, CsiReport):
+            size = CSI_PACKET_BYTES
+        elif isinstance(payload, CheckpointMsg):
+            size = CHECKPOINT_BASE_BYTES + getattr(
+                payload.checkpoint, "wire_bytes", lambda: 0
+            )()
+        else:
+            size = CTRL_PACKET_BYTES
     return Packet(
         size_bytes=size,
         src=src,

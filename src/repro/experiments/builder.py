@@ -11,7 +11,7 @@ isolate the paper's contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +26,9 @@ from ..core.baseline import (
 )
 from ..core.client import ClientParams, MobileClient
 from ..core.controller import ControllerParams, WgttController
+from ..core.ha import ControllerCluster, HaParams, StandbyController, coerce_ha
 from ..faults import FaultInjector, FaultScenario, coerce_scenario
+from ..invariants import InvariantSuite
 from ..mac.medium import Medium, MediumParams
 from ..mobility.trajectory import RoadLayout, Trajectory
 from ..net.addressing import NodeIdAllocator
@@ -84,6 +86,16 @@ class ExperimentConfig:
     #: framework existed.  Baseline mode has its own client-side roaming
     #: policy (``policy_params``) and rejects this knob.
     policy: Optional[PolicySpec] = None
+    #: Controller high availability (a :class:`repro.core.ha.HaParams`, a
+    #: dict, or ``True`` for the defaults).  Strictly opt-in: None builds
+    #: no standby, starts no heartbeats, and leaves every HA code path
+    #: unreachable, so default drives stay bit-identical to the golden
+    #: digests.
+    ha: Optional[HaParams] = None
+    #: Arm the :class:`repro.invariants.InvariantSuite` runtime monitors
+    #: (no-duplicate-delivery, bounded reordering, index monotonicity,
+    #: single-serving-AP) on every built component.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("wgtt", "baseline"):
@@ -98,6 +110,13 @@ class ExperimentConfig:
                     "mode roams client-side via policy_params"
                 )
             policy_class(self.policy.name)  # fail fast on unknown names
+        if self.ha is not None:
+            self.ha = coerce_ha(self.ha)
+            if self.ha is not None and self.mode != "wgtt":
+                raise ValueError(
+                    "ha applies to the WGTT controller only; the baseline "
+                    "has no checkpoint/failover protocol to run"
+                )
 
 
 class Network:
@@ -175,6 +194,42 @@ class Network:
             if config.mode == "wgtt":
                 self.controller.add_ap(node_id)
 
+        # HA layer (strictly opt-in; armed before the fault injector so a
+        # scheduled controller_crash finds the heartbeat machinery running).
+        self.standby: Optional[StandbyController] = None
+        self.cluster: Optional[ControllerCluster] = None
+        #: Downlink entry point bound once at build time: the cluster (so
+        #: server traffic follows a failover) or the plain controller.
+        self._downlink_entry = self.controller.send_downlink
+        if config.mode == "wgtt" and config.ha is not None:
+            ha = config.ha
+            standby_id = None
+            if ha.standby:
+                standby_id = self.ids.allocate("infra")
+                self.standby = StandbyController(
+                    self.sim, self.backhaul, standby_id,
+                    np.random.default_rng([config.seed, 4]),
+                    trace=self.trace, params=controller_params,
+                    policy_factory=policy_factory,
+                )
+                for ap in self.aps:
+                    self.standby.add_ap(ap.node_id)
+                self.cluster = ControllerCluster(self.controller, self.standby)
+                self._downlink_entry = self.cluster.send_downlink
+            self.controller.enable_ha(ha, standby_id=standby_id)
+            if self.standby is not None:
+                self.standby.enable_ha(ha)
+            for ap in self.aps:
+                # The AP gates its degraded tick on ha.ap_degraded itself;
+                # local ESNR windows are fed either way so post-failover
+                # DegradedReports carry real signal quality.
+                ap.enable_ha(ha)
+
+        self.invariants: Optional[InvariantSuite] = None
+        if config.check_invariants:
+            self.invariants = InvariantSuite()
+            self.invariants.attach(self.controller, self.standby, *self.aps)
+
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_scenario is not None:
             self.fault_injector = FaultInjector(self, config.fault_scenario)
@@ -231,14 +286,18 @@ class Network:
                 heading_sign=-1.0 if signed < 0 else 1.0,
             )
             self.controller.add_client(node_id, context=context)
+            if self.standby is not None:
+                self.standby.add_client(node_id, context=context)
+        if self.invariants is not None:
+            self.invariants.attach(client)
         self.clients.append(client)
         return client
 
     # ---------------------------------------------------------------- server
     def server_send(self, packet: Packet) -> None:
-        """Downlink entry: local content server -> controller."""
+        """Downlink entry: local content server -> controller (or cluster)."""
         self.sim.schedule(
-            self.config.server_latency_s, self.controller.send_downlink, packet
+            self.config.server_latency_s, self._downlink_entry, packet
         )
 
     def deliver_to_server(self, handler: Callable[[Packet, float], None]):
@@ -253,6 +312,48 @@ class Network:
         return delayed
 
     # --------------------------------------------------------------- queries
+    def resilience_counters(self) -> Dict[str, int]:
+        """Fault/HA bookkeeping for ``DriveSummary.resilience``.
+
+        Empty for plain drives (no HA, no faults, no monitors) so default
+        summaries stay byte-identical to pre-HA ones.
+        """
+        if (self.config.ha is None and self.fault_injector is None
+                and self.invariants is None):
+            return {}
+        out: Dict[str, int] = {}
+        if hasattr(self.controller, "resilience_counters"):
+            out.update(self.controller.resilience_counters())
+            if self.standby is not None:
+                # Post-takeover activity (beats, reconciliations) lands on
+                # the standby; report the cluster total.
+                for key, value in self.standby.resilience_counters().items():
+                    out[key] = out.get(key, 0) + value
+        else:  # baseline controller under fault injection
+            out["downlink_dropped_dead"] = self.controller.downlink_dropped_dead
+        if self.cluster is not None:
+            out["failovers"] = self.cluster.failovers
+        if self.standby is not None:
+            out["standby_takeovers"] = self.standby.takeovers
+            out["checkpoints_received"] = self.standby.checkpoints_received
+        out["degraded_entries"] = sum(
+            getattr(ap, "degraded_entries", 0) for ap in self.aps
+        )
+        out["degraded_exits"] = sum(
+            getattr(ap, "degraded_exits", 0) for ap in self.aps
+        )
+        out["degraded_handovers"] = sum(
+            getattr(ap, "degraded_handovers", 0) for ap in self.aps
+        )
+        out["client_flushes"] = sum(
+            getattr(ap, "flushes_applied", 0) for ap in self.aps
+        )
+        if self.fault_injector is not None:
+            out["fault_events_applied"] = self.fault_injector.applied_events
+        if self.invariants is not None:
+            out.update(self.invariants.counters())
+        return out
+
     def links_for_client(self, client: MobileClient) -> List[Link]:
         out = []
         for ap in self.aps:

@@ -18,12 +18,14 @@ Inspect the channel (Fig. 2 / Fig. 10 style)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
 import numpy as np
 
+from ..core.ha import coerce_ha
 from ..faults import FaultScenario
 from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
 from ..orchestration import ResultCache, SweepSpec, run_sweep
@@ -76,14 +78,29 @@ def _coverage_window(speed_mph: float, road: RoadLayout):
     return 15.0 / v, (road.span_m + 15.0) / v
 
 
+def _load_ha(arg: Optional[str]):
+    """``--ha`` accepts a bare flag (defaults) or inline JSON knobs."""
+    if arg is None:
+        return None
+    try:
+        return coerce_ha(True if arg == "" else arg)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"--ha: {exc}")
+
+
 def cmd_drive(args: argparse.Namespace) -> int:
     scenario = _load_fault_scenario(args.fault_scenario)
     policy = _load_policy(args.policy)
+    ha = _load_ha(args.ha)
     extra = {}
     if scenario is not None:
         extra["fault_scenario"] = scenario
     if policy is not None:
         extra["policy"] = policy
+    if ha is not None:
+        extra["ha"] = ha
+    if args.check_invariants:
+        extra["check_invariants"] = True
     if args.profile:
         PERF.reset()
     from time import perf_counter
@@ -119,6 +136,12 @@ def cmd_drive(args: argparse.Namespace) -> int:
               f"({stats['applied_events']} applied, "
               f"{stats['drops_node_down'] + stats['drops_rule']} pkts dropped, "
               f"{stats['delayed_packets']} delayed)")
+    resilience = result.net.resilience_counters()
+    if resilience:
+        interesting = {k: v for k, v in resilience.items() if v}
+        print(f"resilience     : " + (", ".join(
+            f"{k}={v}" for k, v in sorted(interesting.items())
+        ) or "all counters zero"))
     if args.timeseries:
         _ts, mbps = throughput_timeseries(result.deliveries, t0, t1, bin_s=0.5)
         for i, v in enumerate(mbps):
@@ -128,7 +151,14 @@ def cmd_drive(args: argparse.Namespace) -> int:
         events = result.net.sim.events_fired
         print(f"wall clock     : {wall_clock_s:.2f} s "
               f"({events / max(wall_clock_s, 1e-9):,.0f} events/s)")
+        print(f"trace records  : {len(result.net.trace)} kept, "
+              f"{result.net.trace.dropped_records} dropped")
         print(PERF.report(title="perf counters"))
+    invariants = result.net.invariants
+    if invariants is not None:
+        print(f"invariants     : {invariants.report()}")
+        if not invariants.ok:
+            return 1
     return 0
 
 
@@ -147,11 +177,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.policies:
         policies = [_load_policy(p.strip())
                     for p in args.policies.split(",") if p.strip()]
+    overrides = {}
+    ha = _load_ha(args.ha)
+    if ha is not None:
+        # Overrides must be scalars: carry the knobs as canonical JSON
+        # (ExperimentConfig coerces it back).
+        overrides["ha"] = json.dumps(ha.to_dict(), sort_keys=True,
+                                     separators=(",", ":"))
+    if args.check_invariants:
+        overrides["check_invariants"] = True
     spec = SweepSpec(
         modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
         seeds=seeds, udp_rate_mbps=args.udp_rate,
         n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
         fault_scenario=scenario, policies=policies,
+        overrides=overrides,
     )
     cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
     result = run_sweep(
@@ -251,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--profile", action="store_true",
                        help="print PHY fast-path counters, cache hit rates, "
                             "and events/sec after the drive")
+    drive.add_argument("--ha", nargs="?", const="", default=None,
+                       metavar="JSON",
+                       help="arm controller HA: bare flag for the default "
+                            "knobs, or inline HaParams JSON (e.g. "
+                            '\'{"standby": false}\' for degraded-mode-only)')
+    drive.add_argument("--check-invariants", action="store_true",
+                       help="arm the runtime invariant monitors (duplicate "
+                            "delivery, reordering, index monotonicity, "
+                            "single serving AP); nonzero exit on violation")
     drive.set_defaults(fn=cmd_drive)
 
     sweep = sub.add_parser(
@@ -286,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--policies", default=None,
                        help="comma list of handover-policy names (or JSON "
                             "files) run as an extra sweep axis")
+    sweep.add_argument("--ha", nargs="?", const="", default=None,
+                       metavar="JSON",
+                       help="arm controller HA on every job (bare flag for "
+                            "defaults, or inline HaParams JSON)")
+    sweep.add_argument("--check-invariants", action="store_true",
+                       help="arm the runtime invariant monitors on every job")
     sweep.set_defaults(fn=cmd_sweep)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")

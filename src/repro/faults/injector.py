@@ -68,6 +68,19 @@ class FaultInjector:
                     self.net.sim.schedule_at(restart.time, self._restart_ap, restart)
             elif event.kind == "ap_restart":
                 self.net.sim.schedule_at(event.time, self._restart_ap, event)
+            elif event.kind == "controller_crash":
+                self.net.sim.schedule_at(event.time, self._crash_controller, event)
+                if event.duration_s is not None:
+                    restart = FaultEvent(
+                        kind="controller_restart", time=event.end_time
+                    )
+                    self.net.sim.schedule_at(
+                        restart.time, self._restart_controller, restart
+                    )
+            elif event.kind == "controller_restart":
+                self.net.sim.schedule_at(
+                    event.time, self._restart_controller, event
+                )
             else:
                 self.overlay.add_rule(self._rule_for(event))
 
@@ -89,6 +102,26 @@ class FaultInjector:
                             ap_index=event.ap)
         self.overlay.revive_node(ap.node_id, now)
         ap.restore()
+
+    def _crash_controller(self, event: FaultEvent) -> None:
+        controller = self.net.controller
+        now = self.net.sim.now
+        self.applied_events += 1
+        self.net.trace.emit(now, "fault_controller_crash",
+                            node=controller.node_id)
+        controller.fail()
+        self.overlay.fail_node(controller.node_id, now)
+
+    def _restart_controller(self, event: FaultEvent) -> None:
+        controller = self.net.controller
+        now = self.net.sim.now
+        self.applied_events += 1
+        self.net.trace.emit(now, "fault_controller_restart",
+                            node=controller.node_id)
+        # Revive on the backhaul first so the restart's ControllerHello
+        # broadcast is not swallowed by the node-down drop rule.
+        self.overlay.revive_node(controller.node_id, now)
+        controller.restore()
 
     # --------------------------------------------------------------- rules
     def _rule_for(self, event: FaultEvent) -> LinkRule:
@@ -130,6 +163,18 @@ class FaultInjector:
                 csi_only=True,
                 bidirectional=False,
                 kind="csi_drop",
+            )
+        if event.kind == "backhaul_congestion":
+            # Whole-LAN stress: every backhaul link (empty groups stay
+            # wildcards) gets the loss/latency/jitter treatment at once.
+            return LinkRule(
+                t0=event.time, t1=event.end_time,
+                group_a=self._group(event.aps_a, empty_means_controller=False),
+                group_b=self._group(event.aps_b, empty_means_controller=False),
+                loss_probability=event.loss_probability,
+                extra_latency_s=event.extra_latency_s,
+                jitter_s=event.jitter_s,
+                kind="backhaul_congestion",
             )
         if event.kind == "ctrl_delay":
             return LinkRule(

@@ -1,8 +1,9 @@
 """Declarative fault scenarios.
 
 A :class:`FaultScenario` is an ordered list of timed :class:`FaultEvent`
-records -- AP crashes and restarts, per-link loss/latency faults, LAN
-partitions, CSI-report drop bursts, and control-message delays.  It is a
+records -- AP crashes and restarts, controller crashes and restarts,
+per-link loss/latency faults, LAN partitions, LAN-wide congestion,
+CSI-report drop bursts, and control-message delays.  It is a
 plain value: JSON-roundtrippable, hashable into cache keys, and picklable
 across sweep-worker boundaries, so faulty drives flow through the same
 orchestration and persistent result cache as healthy ones.
@@ -37,13 +38,19 @@ FAULT_KINDS = (
     "partition",     # hard partition: everything between the groups is dropped
     "csi_drop",      # burst-drop CSI reports from one AP (or all APs)
     "ctrl_delay",    # delay controller-originated control messages
+    "controller_crash",    # the (primary) controller process dies
+    "controller_restart",  # a crashed controller cold-restarts
+    "backhaul_congestion",  # LAN-wide loss + latency + jitter on every link
 )
 
 #: Kinds that require an ``ap`` index.
 _AP_KINDS = ("ap_crash", "ap_restart")
 
 #: Kinds that install a windowed backhaul rule.
-_RULE_KINDS = ("link_loss", "link_jitter", "partition", "csi_drop", "ctrl_delay")
+_RULE_KINDS = (
+    "link_loss", "link_jitter", "partition", "csi_drop", "ctrl_delay",
+    "backhaul_congestion",
+)
 
 
 @dataclass(frozen=True)
@@ -144,9 +151,26 @@ class FaultScenario:
             e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
             for e in self.events
         )
-        object.__setattr__(
-            self, "events", tuple(sorted(normalized, key=lambda e: (e.time, e.kind)))
-        )
+        ordered = tuple(sorted(normalized, key=lambda e: (e.time, e.kind)))
+        object.__setattr__(self, "events", ordered)
+        # A controller_restart must follow a controller_crash it can undo.
+        # Restarting an alive controller is a silent no-op at the injector,
+        # which would mask a mis-written scenario; reject it here instead.
+        # (A crash with duration_s schedules its own implied restart and
+        # opens no pending crash for an explicit restart to match.)
+        pending_crashes = 0
+        for event in ordered:
+            if event.kind == "controller_crash" and event.duration_s is None:
+                pending_crashes += 1
+            elif event.kind == "controller_restart":
+                if pending_crashes == 0:
+                    raise ValueError(
+                        f"controller_restart at t={event.time} has no "
+                        f"preceding open controller_crash to undo; order "
+                        f"crash before restart (or give the crash a "
+                        f"duration_s for an implied restart)"
+                    )
+                pending_crashes -= 1
 
     def __len__(self) -> int:
         return len(self.events)
@@ -199,6 +223,21 @@ class FaultScenario:
         return cls(events=tuple(events), seed=seed)
 
     @classmethod
+    def single_controller_crash(
+        cls,
+        at: float,
+        restart_after_s: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FaultScenario":
+        """The canonical HA experiment: the controller dies mid-drive."""
+        events: List[FaultEvent] = [FaultEvent(kind="controller_crash", time=at)]
+        if restart_after_s is not None:
+            events.append(
+                FaultEvent(kind="controller_restart", time=at + restart_after_s)
+            )
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
     def poisson_ap_crashes(
         cls,
         n_aps: int,
@@ -206,6 +245,8 @@ class FaultScenario:
         crash_rate_per_ap_hz: float,
         mean_downtime_s: float = 2.0,
         seed: int = 0,
+        controller_crash_rate_hz: float = 0.0,
+        controller_mean_downtime_s: float = 1.0,
     ) -> "FaultScenario":
         """Materialise a seeded crash/restart process into timed events.
 
@@ -213,9 +254,18 @@ class FaultScenario:
         exponential with mean ``mean_downtime_s``.  The draw order is
         fixed (AP by AP), so the same arguments always produce the same
         scenario.
+
+        With ``controller_crash_rate_hz > 0`` the controller itself also
+        fails as a Poisson process (exponential downtimes with mean
+        ``controller_mean_downtime_s``).  Controller draws happen after
+        every AP draw, so scenarios generated with the controller rate at
+        its default 0 are byte-identical to those this generator produced
+        before the controller process existed.
         """
         if n_aps <= 0 or duration_s <= 0 or crash_rate_per_ap_hz < 0:
             raise ValueError("n_aps/duration_s must be positive, rate >= 0")
+        if controller_crash_rate_hz < 0:
+            raise ValueError("controller_crash_rate_hz must be >= 0")
         rng = np.random.default_rng([int(seed), 0xFA17])
         events: List[FaultEvent] = []
         for ap in range(n_aps):
@@ -230,6 +280,17 @@ class FaultScenario:
                 if t >= duration_s:
                     break
                 events.append(FaultEvent(kind="ap_restart", time=round(t, 6), ap=ap))
+        t = 0.0
+        while controller_crash_rate_hz > 0:
+            t += float(rng.exponential(1.0 / controller_crash_rate_hz))
+            if t >= duration_s:
+                break
+            down = float(rng.exponential(controller_mean_downtime_s))
+            events.append(FaultEvent(kind="controller_crash", time=round(t, 6)))
+            t += max(down, 1e-3)
+            if t >= duration_s:
+                break
+            events.append(FaultEvent(kind="controller_restart", time=round(t, 6)))
         return cls(events=tuple(events), seed=seed)
 
 

@@ -1,0 +1,34 @@
+"""Runtime invariant monitors.
+
+"The network recovered" is usually a throughput eyeball; this package
+turns it into checked properties.  An :class:`InvariantSuite` is armed by
+the builder (``ExperimentConfig(check_invariants=True)`` or
+``cli drive --check-invariants``) and wired into the components through
+direct hooks -- every hook site is guarded by ``if self.invariants is not
+None``, so an unarmed run executes not a single extra instruction and
+no-fault drives stay bit-identical to the golden digests.
+
+Monitored properties (the WGTT correctness contract, section 3 of the
+paper, extended across the HA layer's failover boundary):
+
+* **No duplicate delivery** -- a downlink packet (identified by its
+  ``uid``, which every per-AP ring clone shares) reaches the client at
+  most once, even across a controller failover or a degraded-mode
+  handover.
+* **Bounded reordering** -- UDP flow sequence numbers never regress by
+  more than a configurable window (a switch legitimately reorders by
+  about one NIC queue's worth; unbounded regression means a ring
+  replayed history).
+* **Cyclic-queue index monotonicity** -- within one controller epoch the
+  12-bit index is assigned strictly sequentially mod 2^12.
+* **Single serving AP** -- at any instant at most one live AP holds
+  ``serving=True`` for a client.
+
+Violations are collected (up to a cap), not raised at the fault site, so
+one broken run reports every property it broke; call
+:meth:`InvariantSuite.assert_ok` at the end of the drive.
+"""
+
+from .monitors import InvariantSuite, InvariantViolation
+
+__all__ = ["InvariantSuite", "InvariantViolation"]

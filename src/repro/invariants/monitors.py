@@ -1,0 +1,159 @@
+"""The invariant monitors themselves (see the package docstring).
+
+The suite is deliberately hook-based rather than trace-based: new trace
+kinds or fields would perturb the golden drive digests, while a hook that
+is ``None`` by default costs one attribute test only in the runs that arm
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.cyclic_queue import INDEX_MODULO
+
+__all__ = ["InvariantSuite", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """One or more runtime invariants were violated during a drive."""
+
+
+class InvariantSuite:
+    """Collects evidence from component hooks and judges the invariants.
+
+    Parameters
+    ----------
+    reorder_window:
+        Maximum tolerated UDP sequence regression.  A legitimate switch
+        reorders by roughly one driver+NIC queue's worth of packets
+        (~230 at the defaults); the default leaves headroom for a
+        failover-boundary switch without tolerating a ring replay.
+    max_violations:
+        Cap on stored violation messages (counting continues past it).
+    """
+
+    def __init__(self, reorder_window: int = 512, max_violations: int = 64):
+        self.reorder_window = reorder_window
+        self.max_violations = max_violations
+        self.violations: List[str] = []
+        self.violation_count = 0
+        self.checks = 0
+        #: client -> uids delivered to it (ring clones share the uid).
+        self._delivered: Dict[int, Set[int]] = {}
+        #: (client, flow) -> highest UDP seq delivered so far.
+        self._max_seq: Dict[Tuple[int, int], int] = {}
+        #: (client, epoch) -> last cyclic-queue index the controller assigned.
+        self._last_index: Dict[Tuple[int, int], int] = {}
+        #: client -> set of AP ids currently holding serving=True.
+        self._serving: Dict[int, Set[int]] = {}
+
+    # --------------------------------------------------------------- record
+    def _violate(self, message: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(message)
+
+    # ---------------------------------------------------------------- hooks
+    def on_delivery(self, t: float, client: int, packet) -> None:
+        """A downlink packet reached the client's flow layer."""
+        self.checks += 1
+        uids = self._delivered.setdefault(client, set())
+        uid = packet.uid
+        if uid in uids:
+            self._violate(
+                f"duplicate delivery at t={t:.6f}: client {client} received "
+                f"uid={uid} (flow={packet.flow_id}, seq={packet.seq}) twice"
+            )
+        else:
+            uids.add(uid)
+        if packet.protocol == "udp" and packet.seq is not None:
+            key = (client, packet.flow_id)
+            prev = self._max_seq.get(key)
+            if prev is not None and packet.seq < prev - self.reorder_window:
+                self._violate(
+                    f"reordering beyond window at t={t:.6f}: client {client} "
+                    f"flow {packet.flow_id} seq {packet.seq} after {prev} "
+                    f"(window={self.reorder_window})"
+                )
+            if prev is None or packet.seq > prev:
+                self._max_seq[key] = packet.seq
+
+    def on_index_assigned(self, t: float, client: int, epoch: int,
+                          index: int) -> None:
+        """The controller stamped a downlink packet with a 12-bit index."""
+        self.checks += 1
+        key = (client, epoch)
+        last = self._last_index.get(key)
+        if last is not None and index != (last + 1) % INDEX_MODULO:
+            self._violate(
+                f"index monotonicity broken at t={t:.6f}: client {client} "
+                f"epoch {epoch} assigned {index} after {last} "
+                f"(expected {(last + 1) % INDEX_MODULO})"
+            )
+        self._last_index[key] = index
+
+    def on_index_adopted(self, t: float, client: int, epoch: int,
+                         index: int) -> None:
+        """Reconciliation adopted a resume index: restart the sequence check.
+
+        ``index`` is the *next* index to assign, so the checker expects
+        ``index`` itself on the following assignment.
+        """
+        self._last_index[(client, epoch)] = (index - 1) % INDEX_MODULO
+
+    def on_serving_start(self, t: float, ap: int, client: int) -> None:
+        """AP ``ap`` began transmitting to ``client`` (serving=True)."""
+        self.checks += 1
+        serving = self._serving.setdefault(client, set())
+        serving.add(ap)
+        if len(serving) > 1:
+            self._violate(
+                f"multiple serving APs at t={t:.6f}: client {client} served "
+                f"by {sorted(serving)}"
+            )
+
+    def on_serving_stop(self, t: float, ap: int, client: int) -> None:
+        """AP ``ap`` stopped serving ``client`` (stop/flush/crash)."""
+        serving = self._serving.get(client)
+        if serving is not None:
+            serving.discard(ap)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def serving_aps(self, client: int) -> Set[int]:
+        return set(self._serving.get(client, ()))
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "invariant_checks": self.checks,
+            "invariant_violations": self.violation_count,
+        }
+
+    def report(self) -> str:
+        if self.ok:
+            return f"invariants ok ({self.checks} checks)"
+        lines = [
+            f"{self.violation_count} invariant violation(s) "
+            f"in {self.checks} checks:"
+        ]
+        lines += [f"  - {v}" for v in self.violations]
+        if self.violation_count > len(self.violations):
+            lines.append(
+                f"  ... and {self.violation_count - len(self.violations)} more"
+            )
+        return "\n".join(lines)
+
+    def assert_ok(self) -> None:
+        """Raise :class:`InvariantViolation` when any property was broken."""
+        if not self.ok:
+            raise InvariantViolation(self.report())
+
+    def attach(self, *components) -> None:
+        """Set ``component.invariants = self`` on every argument."""
+        for component in components:
+            if component is not None:
+                component.invariants = self

@@ -37,7 +37,9 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "default_code_salt"]
 
 #: Bump when the DriveSummary schema or job canonicalisation changes.
 #: 2: JobSpec grew ``policy``; DriveSummary grew ``policy``.
-CACHE_SCHEMA_VERSION = 2
+#: 3: DriveSummary grew ``dropped_records``/``resilience``;
+#:    ExperimentConfig grew ``ha``/``check_invariants``.
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

@@ -61,6 +61,11 @@ class DriveSummary:
     #: Handover-policy label (registry name, plus a params hash when the
     #: policy was parameterised).  Empty for baseline-mode drives.
     policy: str = ""
+    #: Trace records evicted by the ``trace_max_records`` ring buffer.
+    dropped_records: int = 0
+    #: Fault/HA bookkeeping (checkpoints written, failovers, degraded-mode
+    #: entries/exits, invariant checks...).  Empty for plain drives.
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------- build
     @classmethod
@@ -117,6 +122,8 @@ class DriveSummary:
             events_fired=result.net.sim.events_fired,
             wall_clock_s=wall_clock_s,
             policy=policy,
+            dropped_records=result.trace.dropped_records,
+            resilience=result.net.resilience_counters(),
         )
 
     # ----------------------------------------------------------- queries

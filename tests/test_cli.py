@@ -64,3 +64,25 @@ def test_sweep_defaults():
     assert args.jobs == 1
     assert args.retries == 2
     assert not args.no_cache
+
+
+def test_ha_flags_parse():
+    args = build_parser().parse_args(["drive"])
+    assert args.ha is None and not args.check_invariants
+    args = build_parser().parse_args(["drive", "--ha", "--check-invariants"])
+    assert args.ha == "" and args.check_invariants
+    args = build_parser().parse_args(["drive", "--ha", '{"standby": false}'])
+    assert args.ha == '{"standby": false}'
+    with pytest.raises(SystemExit):
+        main(["drive", "--speed", "0", "--ha", "not json"])
+
+
+def test_drive_profile_reports_invariants_and_resilience(capsys):
+    assert main(["drive", "--mode", "wgtt", "--speed", "0",
+                 "--traffic", "udp", "--seed", "1",
+                 "--ha", "--check-invariants", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants ok" in out
+    assert "trace records" in out
+    assert "resilience" in out
+    assert "heartbeats_sent" in out

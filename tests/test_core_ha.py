@@ -1,0 +1,245 @@
+"""Controller high availability: knobs, checkpoints, failover, degraded mode.
+
+End-to-end fixtures reuse the geometry of tests/test_faults_endtoend.py:
+a 15 mph drive through the default 8-AP road, 20 Mb/s UDP downlink, and a
+controller crash at t = 2.0 s (mid-array, while switching is active).
+"""
+
+import pytest
+
+from repro.core import ClientCheckpoint, ControllerCheckpoint, HaParams, coerce_ha
+from repro.experiments import ExperimentConfig, build_network
+from repro.experiments.runners import run_single_drive
+from repro.faults import FaultScenario
+from repro.mobility import LinearTrajectory, RoadLayout
+from repro.net.packet import Packet
+
+CRASH_T = 2.0
+DRIVE_S = 5.0
+RESTART_AFTER_S = 2.0
+
+
+def ha_drive(ha, scenario=None, seed=1, **kw):
+    return run_single_drive(
+        mode="wgtt", speed_mph=15.0, traffic="udp", udp_rate_mbps=20.0,
+        seed=seed, duration_s=DRIVE_S, ha=ha, check_invariants=True,
+        fault_scenario=scenario, **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def failover_result():
+    """Warm standby + mid-drive controller crash (no restart)."""
+    return ha_drive(True, FaultScenario.single_controller_crash(at=CRASH_T))
+
+
+@pytest.fixture(scope="module")
+def degraded_result():
+    """Degraded-mode-only HA: crash at 2.0 s, cold restart 2.0 s later."""
+    return ha_drive(
+        {"standby": False},
+        FaultScenario.single_controller_crash(
+            at=CRASH_T, restart_after_s=RESTART_AFTER_S
+        ),
+    )
+
+
+def delivered_bytes(result, t0, t1=float("inf")):
+    return sum(b for (t, b) in result.deliveries if t0 < t <= t1)
+
+
+# ---------------------------------------------------------------- HaParams
+def test_haparams_defaults_and_dead_after():
+    ha = HaParams()
+    assert ha.standby and ha.ap_degraded
+    assert ha.dead_after_s == pytest.approx(
+        ha.miss_threshold * ha.heartbeat_interval_s
+    )
+
+
+@pytest.mark.parametrize("bad", [
+    {"heartbeat_interval_s": 0.0},
+    {"heartbeat_interval_s": -0.05},
+    {"miss_threshold": 0},
+    {"checkpoint_interval_beats": 0},
+    {"reconcile_window_s": -0.01},
+    {"degraded_eval_interval_s": 0.0},
+])
+def test_haparams_validation(bad):
+    with pytest.raises(ValueError):
+        HaParams(**bad)
+
+
+def test_haparams_dict_roundtrip():
+    ha = HaParams(heartbeat_interval_s=0.1, miss_threshold=5, standby=False)
+    assert HaParams.from_dict(ha.to_dict()) == ha
+    with pytest.raises(ValueError):
+        HaParams.from_dict({"quorum_size": 3})
+
+
+def test_coerce_ha_accepts_all_forms():
+    assert coerce_ha(None) is None
+    assert coerce_ha(False) is None
+    assert coerce_ha(True) == HaParams()
+    ha = HaParams(miss_threshold=7)
+    assert coerce_ha(ha) is ha
+    assert coerce_ha({"standby": False}) == HaParams(standby=False)
+    # The string forms are what sweep overrides and the CLI carry.
+    assert coerce_ha("true") == HaParams()
+    assert coerce_ha("null") is None
+    assert coerce_ha('{"standby": false, "miss_threshold": 2}') == HaParams(
+        standby=False, miss_threshold=2
+    )
+    with pytest.raises(TypeError):
+        coerce_ha(3.5)
+
+
+# ------------------------------------------------------------- checkpoints
+def test_client_checkpoint_json_roundtrip():
+    entry = ClientCheckpoint(
+        client=9, serving_ap=4, next_index=4090, last_switch_time=1.25,
+        switch_count=3, downlink_packets=812, in_flight=(4, 5),
+        windows={2: [(1.0, 18.5), (1.1, 19.0)], 3: [(1.05, 22.0)]},
+    )
+    restored = ClientCheckpoint.from_dict(entry.to_dict())
+    assert restored == entry
+    assert restored.in_flight == (4, 5)
+    # Wire cost grows with the window contents it carries.
+    assert entry.wire_bytes() > ClientCheckpoint(client=9).wire_bytes()
+
+
+def test_controller_checkpoint_json_roundtrip():
+    snap = ControllerCheckpoint(
+        time=2.5, epoch=1, ap_ids=[10, 11, 12], evicted_aps=[11],
+        clients=[ClientCheckpoint(client=9, serving_ap=10, next_index=7)],
+    )
+    restored = ControllerCheckpoint.from_json(snap.to_json())
+    assert restored.to_json() == snap.to_json()
+    assert restored.client(9).next_index == 7
+    assert restored.client(404) is None
+    assert snap.wire_bytes() > 24
+
+
+def test_checkpoint_capture_from_live_controller():
+    config = ExperimentConfig(mode="wgtt", road=RoadLayout(), seed=3, ha=True)
+    net = build_network(config)
+    client = net.add_client(LinearTrajectory.drive_through(net.road, 15.0))
+
+    def pump(seq=[0]):
+        for s in range(seq[0], seq[0] + 3):
+            net.server_send(Packet(
+                size_bytes=1476, src=net.server_id, dst=client.node_id,
+                protocol="udp", flow_id=1, seq=s,
+            ))
+        seq[0] += 3
+
+    net.sim.call_every(0.005, pump)
+    net.run(until=2.0)
+    snap = ControllerCheckpoint.capture(net.controller)
+    entry = snap.client(client.node_id)
+    assert entry is not None
+    assert entry.serving_ap is not None
+    assert entry.next_index > 0
+    assert any(entry.windows.values()), "ESNR windows not captured"
+    # The snapshot survives the simulated wire (JSON both ways).
+    assert ControllerCheckpoint.from_json(snap.to_json()).to_json() == snap.to_json()
+
+
+# ------------------------------------------------------- standby failover
+def test_standby_takes_over_after_crash(failover_result):
+    net = failover_result.net
+    assert not net.controller.alive
+    assert net.cluster.active is net.standby
+    assert net.standby.takeovers == 1
+    assert net.standby.checkpoints_received > 0
+    assert net.trace.count("controller_failover") == 1
+    counters = net.resilience_counters()
+    assert counters["failovers"] == 1
+    assert counters["standby_takeovers"] == 1
+
+
+def test_failover_detection_is_heartbeat_bounded(failover_result):
+    net = failover_result.net
+    ha = net.standby.ha
+    takeover = net.standby.takeover_time
+    assert takeover is not None
+    # Death is declared after miss_threshold beats of silence, plus at
+    # most one watchdog period of sampling slack.
+    assert CRASH_T < takeover <= CRASH_T + ha.dead_after_s + 2 * ha.heartbeat_interval_s
+
+
+def test_failover_restores_downlink_service(failover_result):
+    post = delivered_bytes(failover_result, CRASH_T + 1.0)
+    assert post > 0, "no deliveries after the failover settled"
+    # A warm takeover costs a fraction of a second, not the drive.
+    assert failover_result.throughput_mbps > 10.0
+
+
+def test_no_duplicate_delivery_across_failover(failover_result):
+    inv = failover_result.net.invariants
+    assert inv is not None
+    assert inv.checks > 1000
+    assert inv.ok, inv.report()
+    client = failover_result.client.node_id
+    assert len(inv.serving_aps(client)) <= 1
+
+
+def test_summary_surfaces_resilience_counters(failover_result):
+    from repro.orchestration.summary import DriveSummary
+
+    summary = failover_result.summarize(mode="wgtt", seed=1)
+    assert summary.resilience["standby_takeovers"] == 1
+    assert summary.resilience["invariant_violations"] == 0
+    assert summary.resilience["invariant_checks"] > 0
+    assert summary.dropped_records == failover_result.trace.dropped_records
+    restored = DriveSummary.from_dict(summary.to_dict())
+    assert restored.resilience == summary.resilience
+    assert restored.dropped_records == summary.dropped_records
+
+
+# ------------------------------------------------------------ degraded mode
+def test_degraded_mode_serves_through_outage(degraded_result):
+    net = degraded_result.net
+    counters = net.resilience_counters()
+    assert counters["degraded_entries"] > 0
+    assert net.trace.count("ap_degraded_enter") == counters["degraded_entries"]
+    # New downlink enters through the (dead) controller, so the outage
+    # window is backlog-limited: degraded APs keep draining their rings
+    # to the client instead of going dark with the control plane.
+    drained = delivered_bytes(degraded_result, CRASH_T,
+                              CRASH_T + RESTART_AFTER_S)
+    assert drained > 0, "degraded APs delivered no backlog during the outage"
+    assert degraded_result.net.invariants.ok, net.invariants.report()
+
+
+def test_degraded_local_handover_happens(degraded_result):
+    counters = degraded_result.net.resilience_counters()
+    assert counters["degraded_handovers"] >= 1
+
+
+def test_degraded_aps_resubordinate_after_restart(degraded_result):
+    net = degraded_result.net
+    restart_t = CRASH_T + RESTART_AFTER_S
+    assert net.controller.alive
+    assert net.trace.count("fault_controller_restart") == 1
+    exits = [t for t in net.trace.times("ap_degraded_exit") if t >= restart_t]
+    assert exits, "no AP re-subordinated after the controller returned"
+    # Normal controller-driven service resumed after the restart.
+    assert delivered_bytes(degraded_result, restart_t + 0.5) > 0
+    assert net.resilience_counters()["degraded_exits"] > 0
+
+
+# --------------------------------------------------------------- opt-in
+def test_ha_is_off_by_default():
+    net = build_network(mode="wgtt", seed=0)
+    assert net.standby is None
+    assert net.cluster is None
+    assert net.invariants is None
+    assert net.controller.ha is None
+    assert all(ap.ha is None for ap in net.aps)
+    assert net.resilience_counters() == {}
+
+
+def test_baseline_mode_rejects_ha():
+    with pytest.raises(ValueError):
+        ExperimentConfig(mode="baseline", road=RoadLayout(), ha=True)

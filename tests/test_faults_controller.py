@@ -1,0 +1,217 @@
+"""Controller fault events: scenario generation, injection, and recovery.
+
+The end-to-end cases mirror tests/test_faults_endtoend.py (default 8-AP
+road, 15 mph, 20 Mb/s UDP) with the controller process as the victim.
+"""
+
+import pytest
+
+from repro.experiments.runners import run_single_drive
+from repro.faults import FAULT_KINDS, FaultEvent, FaultScenario
+
+CRASH_T = 2.0
+
+
+def crash_drive(scenario, seed=1, duration_s=5.0, **kw):
+    return run_single_drive(
+        mode="wgtt", speed_mph=15.0, traffic="udp", udp_rate_mbps=20.0,
+        seed=seed, duration_s=duration_s, fault_scenario=scenario, **kw,
+    )
+
+
+def delivered_bytes(result, t0, t1=float("inf")):
+    return sum(b for (t, b) in result.deliveries if t0 < t <= t1)
+
+
+# ------------------------------------------------------------- scenarios
+def test_controller_kinds_registered():
+    assert "controller_crash" in FAULT_KINDS
+    assert "controller_restart" in FAULT_KINDS
+    assert "backhaul_congestion" in FAULT_KINDS
+
+
+def test_controller_events_need_no_ap_and_roundtrip():
+    crash = FaultEvent(kind="controller_crash", time=1.0)
+    assert FaultEvent.from_dict(crash.to_dict()) == crash
+    restart = FaultEvent(kind="controller_restart", time=2.0)
+    assert FaultEvent.from_dict(restart.to_dict()) == restart
+
+
+def test_restart_without_preceding_crash_rejected():
+    with pytest.raises(ValueError, match="no preceding open controller_crash"):
+        FaultScenario(events=(
+            FaultEvent(kind="controller_restart", time=1.0),
+        ))
+    # Ordering matters: a restart scheduled before its crash is the same
+    # error even though both events exist.
+    with pytest.raises(ValueError, match="no preceding open controller_crash"):
+        FaultScenario(events=(
+            FaultEvent(kind="controller_crash", time=3.0),
+            FaultEvent(kind="controller_restart", time=1.0),
+        ))
+
+
+def test_self_timed_crash_leaves_no_open_crash():
+    # duration_s schedules the restart implicitly, so a trailing explicit
+    # restart has nothing to undo.
+    with pytest.raises(ValueError, match="no preceding open controller_crash"):
+        FaultScenario(events=(
+            FaultEvent(kind="controller_crash", time=1.0, duration_s=0.5),
+            FaultEvent(kind="controller_restart", time=3.0),
+        ))
+
+
+def test_crash_restart_pairing_accepted():
+    scenario = FaultScenario(events=(
+        FaultEvent(kind="controller_crash", time=1.0),
+        FaultEvent(kind="controller_restart", time=2.0),
+    ))
+    assert len(scenario.events) == 2
+    assert FaultScenario.from_json(scenario.to_json()) == scenario
+
+
+def test_single_controller_crash_classmethod():
+    bare = FaultScenario.single_controller_crash(at=2.5)
+    assert [e.kind for e in bare.events] == ["controller_crash"]
+    paired = FaultScenario.single_controller_crash(at=2.5, restart_after_s=1.5)
+    assert [e.kind for e in paired.events] == [
+        "controller_crash", "controller_restart",
+    ]
+    assert paired.events[1].time == pytest.approx(4.0)
+
+
+def test_poisson_controller_rate_zero_is_byte_identical():
+    # The controller draws happen after every AP draw, so the pre-existing
+    # AP-only scenarios are unchanged when the controller rate stays 0.
+    legacy = FaultScenario.poisson_ap_crashes(
+        n_aps=8, duration_s=30.0, crash_rate_per_ap_hz=0.05, seed=11,
+    )
+    explicit = FaultScenario.poisson_ap_crashes(
+        n_aps=8, duration_s=30.0, crash_rate_per_ap_hz=0.05, seed=11,
+        controller_crash_rate_hz=0.0,
+    )
+    assert legacy.to_json() == explicit.to_json()
+
+
+def test_poisson_controller_events_are_seeded_and_valid():
+    def gen(seed):
+        return FaultScenario.poisson_ap_crashes(
+            n_aps=4, duration_s=60.0, crash_rate_per_ap_hz=0.02, seed=seed,
+            controller_crash_rate_hz=0.05, controller_mean_downtime_s=1.0,
+        )
+
+    a, b, c = gen(5), gen(5), gen(6)
+    assert a.to_json() == b.to_json()
+    assert a.to_json() != c.to_json()
+    kinds = [e.kind for e in a.events]
+    assert "controller_crash" in kinds
+    # Construction itself proves restart ordering validity; crashes never
+    # outnumber their restarts by more than the one open tail crash.
+    crashes = kinds.count("controller_crash")
+    restarts = kinds.count("controller_restart")
+    assert crashes - restarts in (0, 1)
+
+
+def test_poisson_negative_controller_rate_rejected():
+    with pytest.raises(ValueError):
+        FaultScenario.poisson_ap_crashes(
+            n_aps=4, duration_s=10.0, crash_rate_per_ap_hz=0.1,
+            controller_crash_rate_hz=-1.0,
+        )
+
+
+# ------------------------------------------------------------ end-to-end
+def test_controller_crash_without_ha_starves_client():
+    result = crash_drive(FaultScenario.single_controller_crash(at=CRASH_T))
+    net = result.net
+    assert not net.controller.alive
+    assert net.trace.count("fault_controller_crash") == 1
+    assert net.controller.downlink_dropped_dead > 0
+    pre = delivered_bytes(result, CRASH_T - 1.0, CRASH_T)
+    post = delivered_bytes(result, CRASH_T + 1.0)
+    # Ring backlog drains briefly, then the downlink is dead: the client
+    # receives (much) less in the 2 s after the crash than in the 1 s
+    # before it.
+    assert post < 0.5 * pre
+
+
+def test_controller_cold_restart_resumes_service():
+    result = crash_drive(
+        FaultScenario.single_controller_crash(at=CRASH_T, restart_after_s=1.0)
+    )
+    net = result.net
+    assert net.controller.alive
+    assert net.controller.epoch == 1
+    assert net.trace.count("fault_controller_restart") == 1
+    assert delivered_bytes(result, CRASH_T + 1.5) > 0
+
+
+def test_ap_restart_announces_and_is_not_re_evicted():
+    """A rebooted AP re-registers via ApHello instead of waiting out (or
+    being churned by) the controller's liveness sweep."""
+    crash_ap, crash_t, downtime = 3, 5.3, 0.5
+    result = run_single_drive(
+        mode="wgtt", speed_mph=15.0, traffic="udp", udp_rate_mbps=20.0,
+        seed=0,
+        fault_scenario=FaultScenario.single_ap_crash(
+            ap=crash_ap, at=crash_t, restart_after_s=downtime,
+        ),
+    )
+    net = result.net
+    ap_id = net.aps[crash_ap].node_id
+    restart_t = crash_t + downtime
+    readmits = [r.time for r in net.trace.records("ap_readmitted")
+                if r["ap"] == ap_id and r.time >= restart_t]
+    assert readmits, "restarted AP was never readmitted"
+    # Readmission rides the ApHello announcement (a backhaul RTT), not a
+    # later CSI report that happens to get through.
+    assert readmits[0] - restart_t < 0.05
+    # And the readmitted AP is not instantly re-evicted by the liveness
+    # sweep reading its pre-crash last-seen time.  (Evictions much later
+    # are legitimate: the client drives out of the AP's uplink range.)
+    evictions_after = [r.time for r in net.trace.records("ap_evicted")
+                       if r["ap"] == ap_id
+                       and readmits[0] < r.time < readmits[0] + 0.5]
+    assert not evictions_after
+
+
+def test_partition_healing_mid_switch_triggers_retransmit():
+    """A backhaul partition that swallows a stop(c) and heals before the
+    ack timeout: the controller retransmits and the switch completes."""
+    clean = crash_drive(None, seed=0)
+    picks = [r for r in clean.trace.records("switch_initiated")
+             if r["old"] is not None and 1.0 < r.time < 4.0]
+    assert picks, "no mid-drive switch to disturb"
+    t_switch = picks[0].time
+    # The window opens after the triggering CSI report is in flight (it
+    # is sent a backhaul latency ~0.3 ms before the switch decision) but
+    # before the controller's stop(c) leaves, and closes between the
+    # (lost) stop and the 30 ms-later retransmission: the partition heals
+    # mid-switch.
+    window = FaultEvent(kind="partition", time=t_switch - 1e-4,
+                        duration_s=0.015)
+    # liveness_timeout_s=None keeps controller params identical to the
+    # clean run, so the drive replays deterministically up to the window.
+    faulted = crash_drive(
+        FaultScenario(events=(window,), liveness_timeout_s=None),
+        seed=0, check_invariants=True,
+    )
+    net = faulted.net
+    retransmits = [t for t in net.trace.times("switch_retransmit")
+                   if t_switch < t < t_switch + 0.1]
+    assert retransmits, "lost stop(c) never retransmitted"
+    # The rerouted handshake completes shortly after the partition heals.
+    completions = [t for t in net.trace.times("ap_switch")
+                   if retransmits[0] <= t < t_switch + 0.2]
+    assert completions, "switch never completed after the partition healed"
+    assert net.invariants.ok, net.invariants.report()
+    assert delivered_bytes(faulted, t_switch + 0.2) > 0
+
+
+def test_resilience_counters_cover_fault_runs():
+    result = crash_drive(FaultScenario.single_controller_crash(at=CRASH_T))
+    counters = result.net.resilience_counters()
+    assert counters["fault_events_applied"] == 1
+    assert counters["downlink_dropped_dead"] > 0
+    summary = result.summarize(mode="wgtt", seed=1)
+    assert summary.resilience == counters
