@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.experiments import mean_throughput_mbps, run_single_drive
-from repro.mobility import mph_to_mps
+from repro.mobility import (
+    COVERAGE_ENTRY_OFFSET_M,
+    DEFAULT_SPAN_M,
+    LEAD_IN_M,
+    mph_to_mps,
+)
 from repro.orchestration import JobSpec, ResultCache
 
 _CACHE: Dict[str, object] = {}
@@ -40,7 +45,8 @@ def cached(key: str, fn: Callable[[], object]):
     return _CACHE[key]
 
 
-def coverage_window(speed_mph: float, span_m: float = 52.5, lead_in_m: float = 15.0):
+def coverage_window(speed_mph: float, span_m: float = DEFAULT_SPAN_M,
+                    lead_in_m: float = LEAD_IN_M):
     """Measurement window while the client is inside the AP array."""
     v = mph_to_mps(speed_mph)
     return lead_in_m / v, (span_m + lead_in_m) / v
@@ -73,13 +79,17 @@ def _job_for(mode: str, speed_mph: float, traffic: str, seed: int,
     rich objects (roads, configs, trajectories) stay session-local.
     """
     overrides = {k: v for k, v in rest.items()
-                 if k not in ("duration_s", "warmup_s", "fault_scenario")}
+                 if k not in ("duration_s", "warmup_s", "fault_scenario",
+                              "city")}
     if any(not isinstance(v, (int, float, str, bool, type(None)))
            for v in overrides.values()):
         return None
     fault = rest.get("fault_scenario")
     if fault is not None and not isinstance(fault, str):
         return None  # only canonical JSON maps onto the persistent cache
+    city = rest.get("city")
+    if city is not None and not isinstance(city, str):
+        return None  # same contract: canonical JSON only
     try:
         return JobSpec(
             mode=mode, speed_mph=float(speed_mph), traffic=traffic,
@@ -87,6 +97,7 @@ def _job_for(mode: str, speed_mph: float, traffic: str, seed: int,
             duration_s=rest.get("duration_s"),
             warmup_s=rest.get("warmup_s", 0.5),
             fault_scenario=fault,
+            city=city,
             overrides=tuple(sorted(overrides.items())),
         )
     except (TypeError, ValueError):
@@ -115,6 +126,19 @@ def drive(mode: str, speed_mph: float, traffic: str, seed: int = SEED, **kw):
         return result
 
     return cached(key, _run)
+
+
+def city_drive(city, traffic: str = "udp", seed: int = SEED, **kw):
+    """A cached city fleet drive; ``city`` is a CityConfig, dict, or JSON.
+
+    The spec is canonicalised before keying, so every benchmark (and CLI
+    sweep) that describes the same grid shares one persistent-cache entry
+    under the same ``city=<hash>`` key component.
+    """
+    from repro.city import coerce_city
+
+    city_json = coerce_city(city).to_json()
+    return drive("wgtt", 0.0, traffic, seed=seed, city=city_json, **kw)
 
 
 def drive_throughput(mode: str, speed_mph: float, traffic: str, seed: int = SEED, **kw) -> float:
@@ -203,7 +227,7 @@ def multi_client_drive(
                 lambda rx, tx: (lambda: udp_deliveries(rx, tx.packet_bytes))
             )(receiver, sender)
         if trajectory.speed_mps > 0:
-            start = max(0.05, 8.0 / trajectory.speed_mps)
+            start = max(0.05, COVERAGE_ENTRY_OFFSET_M / trajectory.speed_mps)
             max_duration = max(max_duration, trajectory.transit_duration(road))
         else:
             start = 0.05

@@ -8,7 +8,7 @@ bursts at every cell edge.
 
 import numpy as np
 
-from repro.mobility import LinearTrajectory, RoadLayout
+from repro.mobility import COVERAGE_ENTRY_OFFSET_M, LinearTrajectory, RoadLayout
 
 from common import cached, coverage_window, multi_client_drive, print_table
 
@@ -31,7 +31,8 @@ def uplink_losses(mode):
         t0, t1 = coverage_window(15.0)
         losses = []
         for _client, sender, receiver, _d in flows:
-            start = 8.0 / trajectories[0].speed_mps  # sender start time
+            # Sender start time: first client enters coverage.
+            start = COVERAGE_ENTRY_OFFSET_M / trajectories[0].speed_mps
             interval = sender.interval_s
             first_seq = max(0, int((t0 - start) / interval))
             last_seq = int((t1 - start) / interval)

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.core.ap_selection import ApSelector
 from repro.experiments import ExperimentConfig, build_network
-from repro.mobility import LinearTrajectory, mph_to_mps
+from repro.mobility import DEFAULT_SPAN_M, LEAD_IN_M, LinearTrajectory, mph_to_mps
 from repro.phy.mcs import link_capacity_mbps
 
 from common import cached, print_table
@@ -24,7 +24,7 @@ def collect_traces(seed):
     client = net.add_client(trajectory)
     links = net.links_for_client(client)
     v = mph_to_mps(15.0)
-    ts = np.arange(15.0 / v, (52.5 + 15.0) / v, 2e-3)
+    ts = np.arange(LEAD_IN_M / v, (DEFAULT_SPAN_M + LEAD_IN_M) / v, 2e-3)
     esnr = np.array([[link.esnr_db(float(t)) for link in links] for t in ts])
     return ts, esnr
 

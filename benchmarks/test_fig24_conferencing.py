@@ -14,7 +14,14 @@ from repro.apps.conferencing import (
     ConferencingSender,
 )
 from repro.experiments import ExperimentConfig, build_network
-from repro.mobility import LinearTrajectory, RoadLayout, mph_to_mps
+from repro.mobility import (
+    COVERAGE_ENTRY_OFFSET_M,
+    DEFAULT_SPAN_M,
+    LEAD_IN_M,
+    LinearTrajectory,
+    RoadLayout,
+    mph_to_mps,
+)
 
 from common import cached, print_table
 
@@ -39,14 +46,15 @@ def run_call(speed_mph, profile, seed=43):
         up_tx = ConferencingSender(net.sim, client.uplink_send, src=client.node_id,
                                    dst=net.server_id, flow_id=901, params=profile)
 
-        start = max(0.05, (min(road.ap_x) - 8.0 - trajectory.start_x)
+        start = max(0.05, (min(road.ap_x) - COVERAGE_ENTRY_OFFSET_M
+                           - trajectory.start_x)
                     / trajectory.speed_mps)
         net.sim.schedule(start, down_tx.start)
         net.sim.schedule(start, up_tx.start)
         duration = trajectory.transit_duration(road)
         net.run(until=duration)
         v = mph_to_mps(speed_mph)
-        t0, t1 = 15.0 / v, (52.5 + 15.0) / v
+        t0, t1 = LEAD_IN_M / v, (DEFAULT_SPAN_M + LEAD_IN_M) / v
         return down_rx.fps_samples(t0, t1)
 
     return cached(f"fig24:{speed_mph}:{profile.name}", run)

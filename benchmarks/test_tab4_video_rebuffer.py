@@ -7,7 +7,7 @@ of the drive.
 
 from repro.apps.video import VideoParams, VideoStreamingSession
 from repro.experiments import ExperimentConfig, attach_tcp_downlink, build_network
-from repro.mobility import LinearTrajectory, RoadLayout
+from repro.mobility import COVERAGE_ENTRY_OFFSET_M, LinearTrajectory, RoadLayout
 
 from common import cached, fmt, print_table
 
@@ -23,8 +23,8 @@ def rebuffer_ratio(mode, speed_mph):
         sender, receiver = attach_tcp_downlink(net, client)
         session = VideoStreamingSession(net.sim, VideoParams())
         receiver.on_bytes = session.on_bytes
-        start = max(0.05, (min(road.ap_x) - 8.0 - trajectory.start_x)
-                    / trajectory.speed_mps)
+        start = max(0.05, (min(road.ap_x) - COVERAGE_ENTRY_OFFSET_M
+                           - trajectory.start_x) / trajectory.speed_mps)
         net.sim.schedule(start, sender.start)
         duration = trajectory.transit_duration(road)
         net.run(until=duration)

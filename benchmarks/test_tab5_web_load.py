@@ -9,7 +9,7 @@ import math
 
 from repro.apps.web import WebPageLoad, WebPageParams
 from repro.experiments import ExperimentConfig, attach_tcp_downlink, build_network
-from repro.mobility import LinearTrajectory, RoadLayout
+from repro.mobility import COVERAGE_ENTRY_OFFSET_M, LinearTrajectory, RoadLayout
 
 from common import cached, fmt, print_table
 
@@ -27,7 +27,8 @@ def load_time(mode, speed_mph):
             net, client, app_limit_bytes=params.page_bytes
         )
         load = WebPageLoad(net.sim, sender, receiver, params)
-        start = max(0.05, (min(road.ap_x) - 8.0 - trajectory.start_x)
+        start = max(0.05, (min(road.ap_x) - COVERAGE_ENTRY_OFFSET_M
+                           - trajectory.start_x)
                     / trajectory.speed_mps)
         net.sim.schedule(start, load.start)
         net.run(until=trajectory.transit_duration(road))

@@ -17,7 +17,14 @@ from repro.experiments import (
     mean_throughput_mbps,
     udp_deliveries,
 )
-from repro.mobility import SCENARIOS, RoadLayout, mph_to_mps
+from repro.mobility import (
+    COVERAGE_ENTRY_OFFSET_M,
+    DEFAULT_SPAN_M,
+    LEAD_IN_M,
+    SCENARIOS,
+    RoadLayout,
+    mph_to_mps,
+)
 
 SPEED_MPH = 15.0
 RATE_MBPS = 30.0
@@ -32,14 +39,15 @@ def run_scenario(name: str, mode: str = "wgtt", seed: int = 3):
     for trajectory in trajectories:
         client = net.add_client(trajectory)
         sender, receiver = attach_udp_downlink(net, client, RATE_MBPS)
-        start = 8.0 / trajectory.speed_mps  # shortly after entering coverage
+        # Shortly after entering coverage.
+        start = COVERAGE_ENTRY_OFFSET_M / trajectory.speed_mps
         net.sim.schedule(start, sender.start)
         flows.append((client, sender, receiver))
         duration = max(duration, trajectory.transit_duration(road))
     net.run(until=duration)
 
     v = mph_to_mps(SPEED_MPH)
-    t_in, t_out = 15.0 / v, (52.5 + 15.0) / v
+    t_in, t_out = LEAD_IN_M / v, (DEFAULT_SPAN_M + LEAD_IN_M) / v
     return [
         mean_throughput_mbps(udp_deliveries(rx, tx.packet_bytes), t_in, t_out)
         for _c, tx, rx in flows

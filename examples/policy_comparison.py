@@ -14,7 +14,7 @@ Run:  python examples/policy_comparison.py
 """
 
 from repro.experiments import run_drive_summary
-from repro.mobility import mph_to_mps
+from repro.mobility import DEFAULT_SPAN_M, LEAD_IN_M, mph_to_mps
 from repro.policies import PolicySpec, available_policies
 
 SPEED_MPH = 25.0
@@ -23,11 +23,11 @@ UDP_RATE_MBPS = 50.0
 
 
 def road_position(t: float) -> float:
-    """Metres past the first AP at time t (drive starts 15 m before)."""
-    return mph_to_mps(SPEED_MPH) * t - 15.0
+    """Metres past the first AP at time t (drive starts LEAD_IN_M before)."""
+    return mph_to_mps(SPEED_MPH) * t - LEAD_IN_M
 
 
-def switch_map(summary, width: int = 56, span_m: float = 52.5) -> str:
+def switch_map(summary, width: int = 56, span_m: float = DEFAULT_SPAN_M) -> str:
     """Mark where along the AP array each committed switch happened."""
     cells = ["-"] * width
     for t, _ap in summary.switch_events:

@@ -13,7 +13,7 @@ from repro.experiments import (
     run_single_drive,
     throughput_timeseries,
 )
-from repro.mobility import mph_to_mps
+from repro.mobility import DEFAULT_SPAN_M, LEAD_IN_M, mph_to_mps
 
 SPEED_MPH = 15.0
 
@@ -21,7 +21,7 @@ SPEED_MPH = 15.0
 def measure(mode: str) -> dict:
     result = run_single_drive(mode=mode, speed_mph=SPEED_MPH, traffic="tcp", seed=7)
     v = mph_to_mps(SPEED_MPH)
-    t_in, t_out = 15.0 / v, (52.5 + 15.0) / v  # while inside the AP array
+    t_in, t_out = LEAD_IN_M / v, (DEFAULT_SPAN_M + LEAD_IN_M) / v  # in the array
     return {
         "result": result,
         "throughput": mean_throughput_mbps(result.deliveries, t_in, t_out),

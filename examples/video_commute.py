@@ -11,7 +11,12 @@ Run:  python examples/video_commute.py
 
 from repro.apps.video import VideoParams, VideoStreamingSession
 from repro.experiments import ExperimentConfig, attach_tcp_downlink, build_network
-from repro.mobility import LinearTrajectory, RoadLayout, mph_to_mps
+from repro.mobility import (
+    COVERAGE_ENTRY_OFFSET_M,
+    LinearTrajectory,
+    RoadLayout,
+    mph_to_mps,
+)
 
 
 def stream_drive(mode: str, speed_mph: float, seed: int = 41) -> VideoStreamingSession:
@@ -24,7 +29,8 @@ def stream_drive(mode: str, speed_mph: float, seed: int = 41) -> VideoStreamingS
     session = VideoStreamingSession(net.sim, VideoParams())
     receiver.on_bytes = session.on_bytes
 
-    start = (min(road.ap_x) - 8.0 - trajectory.start_x) / trajectory.speed_mps
+    start = ((min(road.ap_x) - COVERAGE_ENTRY_OFFSET_M - trajectory.start_x)
+             / trajectory.speed_mps)
     net.sim.schedule(max(0.05, start), sender.start)
     duration = trajectory.transit_duration(road)
     net.run(until=duration)

@@ -1,0 +1,44 @@
+"""City-scale simulation subsystem.
+
+Scales the single-road testbed to a road grid: waypoint vehicle
+mobility with seeded intersection turns, spatially-indexed link
+construction, a collision domain partitioned per (channel, cell), and
+one WGTT controller shard per road segment.  See ``EXPERIMENTS.md``
+("City-scale drives") for the scenario spec and the scaling benchmark.
+"""
+
+from .builder import (
+    CityNetwork,
+    CityNodeIdAllocator,
+    CityVehicle,
+    SegmentController,
+    build_city_network,
+)
+from .config import DEFAULT_CHANNELS, CityConfig, coerce_city
+from .grid import RoadGrid, RoadSegment
+from .medium import MediumShard, ShardedMedium
+from .mobility import TURN_WEIGHTS, Leg, VehiclePlan, random_route
+from .runner import attach_city_flow, run_city_drive
+from .spatial import SpatialIndex
+
+__all__ = [
+    "CityConfig",
+    "CityNetwork",
+    "CityNodeIdAllocator",
+    "CityVehicle",
+    "DEFAULT_CHANNELS",
+    "Leg",
+    "MediumShard",
+    "RoadGrid",
+    "RoadSegment",
+    "SegmentController",
+    "ShardedMedium",
+    "SpatialIndex",
+    "TURN_WEIGHTS",
+    "VehiclePlan",
+    "attach_city_flow",
+    "build_city_network",
+    "coerce_city",
+    "random_route",
+    "run_city_drive",
+]

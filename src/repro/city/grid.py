@@ -1,0 +1,181 @@
+"""Road-grid geometry: intersections, segments, AP placement, channels.
+
+The grid is a Manhattan lattice of ``rows x cols`` intersections spaced
+``block_m`` apart.  Intersection ``(row, col)`` sits at
+``(col * block_m, row * block_m)`` (x east, y north).  Every adjacent
+pair of intersections is joined by a :class:`RoadSegment` carrying its
+own roadside AP array, reusing the single-road geometry constants
+(:data:`~repro.mobility.trajectory.AP_SETBACK_M` and friends) in a
+per-segment local frame: ``along`` runs from endpoint ``a`` to ``b``
+and ``lateral`` is the across-road offset (negative toward the
+buildings, positive into the lanes).
+
+Channels are assigned by greedy graph colouring over the segment
+adjacency graph (segments sharing an intersection), so neighbouring
+arrays never share a channel and a client crossing an intersection must
+retune -- which is exactly the picocell-boundary event the city
+subsystem exists to study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..mobility.trajectory import (
+    AIM_LANE_Y_M,
+    AP_HEIGHT_M,
+    AP_SETBACK_M,
+    CLIENT_HEIGHT_M,
+    FAR_LANE_Y_M,
+    NEAR_LANE_Y_M,
+)
+from .config import CityConfig
+
+__all__ = ["RoadGrid", "RoadSegment"]
+
+Vec3 = Tuple[float, float, float]
+Intersection = Tuple[int, int]  # (row, col)
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """One block-long road between two adjacent intersections."""
+
+    index: int
+    a: Intersection
+    b: Intersection
+    orientation: str  # "h" (a east to b) or "v" (a north to b)
+    origin: Tuple[float, float]  # world (x, y) of endpoint ``a``
+    length_m: float
+    channel: int = 11
+
+    def point_at(self, along_m: float, lateral_m: float, z_m: float) -> Vec3:
+        """Local (along, lateral, z) -> world coordinates."""
+        x0, y0 = self.origin
+        if self.orientation == "h":
+            return (x0 + along_m, y0 + lateral_m, z_m)
+        return (x0 + lateral_m, y0 + along_m, z_m)
+
+
+class RoadGrid:
+    """The lattice of road segments derived from a :class:`CityConfig`."""
+
+    def __init__(self, config: CityConfig):
+        self.config = config
+        self.block_m = config.block_m
+        self.rows = config.rows
+        self.cols = config.cols
+        self.segments: List[RoadSegment] = []
+        #: Unordered intersection pair -> segment index.
+        self._edge_index: Dict[frozenset, int] = {}
+        #: Intersection -> indices of its incident segments.
+        self._incident: Dict[Intersection, List[int]] = {}
+        self._build_segments()
+        self._assign_channels(config.channels)
+
+    # ----------------------------------------------------------- topology
+    def _build_segments(self) -> None:
+        def add(a: Intersection, b: Intersection, orientation: str) -> None:
+            index = len(self.segments)
+            seg = RoadSegment(
+                index=index, a=a, b=b, orientation=orientation,
+                origin=self.intersection_xy(*a), length_m=self.block_m,
+            )
+            self.segments.append(seg)
+            self._edge_index[frozenset((a, b))] = index
+            for node in (a, b):
+                self._incident.setdefault(node, []).append(index)
+
+        for row in range(self.rows):
+            for col in range(self.cols - 1):
+                add((row, col), (row, col + 1), "h")
+        for row in range(self.rows - 1):
+            for col in range(self.cols):
+                add((row, col), (row + 1, col), "v")
+
+    def _assign_channels(self, palette: Tuple[int, ...]) -> None:
+        """Greedy colouring: no two segments sharing an intersection on
+        the same channel (palette permitting; max degree in a grid is 6,
+        so the default 7-channel palette always suffices)."""
+        chosen: List[int] = []
+        for seg in self.segments:
+            used = set()
+            for node in (seg.a, seg.b):
+                for other in self._incident[node]:
+                    if other < seg.index:
+                        used.add(chosen[other])
+            channel = next((c for c in palette if c not in used), None)
+            if channel is None:
+                # Palette exhausted: fall back to the least-used colour.
+                counts = {c: chosen.count(c) for c in palette}
+                channel = min(palette, key=lambda c: (counts[c], palette.index(c)))
+            chosen.append(channel)
+        self.segments = [
+            RoadSegment(
+                index=seg.index, a=seg.a, b=seg.b, orientation=seg.orientation,
+                origin=seg.origin, length_m=seg.length_m, channel=chosen[i],
+            )
+            for i, seg in enumerate(self.segments)
+        ]
+
+    # ----------------------------------------------------------- queries
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_aps(self) -> int:
+        return self.n_segments * self.config.aps_per_segment
+
+    def intersection_xy(self, row: int, col: int) -> Tuple[float, float]:
+        return (col * self.block_m, row * self.block_m)
+
+    def intersections(self) -> List[Intersection]:
+        return [(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def neighbors(self, node: Intersection) -> List[Intersection]:
+        """Adjacent intersections in fixed (E, W, N, S) order."""
+        row, col = node
+        out = []
+        for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                out.append((r, c))
+        return out
+
+    def segment_between(self, a: Intersection, b: Intersection) -> RoadSegment:
+        return self.segments[self._edge_index[frozenset((a, b))]]
+
+    def segments_at(self, node: Intersection) -> List[RoadSegment]:
+        return [self.segments[i] for i in self._incident.get(node, [])]
+
+    # -------------------------------------------------------- AP geometry
+    def ap_along_m(self, i: int) -> float:
+        """Along-segment offset of AP ``i``: uniform with half-step margin."""
+        n = self.config.aps_per_segment
+        return (i + 0.5) * self.block_m / n
+
+    def ap_position(self, seg: RoadSegment, i: int) -> Vec3:
+        return seg.point_at(self.ap_along_m(i), AP_SETBACK_M, AP_HEIGHT_M)
+
+    def ap_aim_point(self, seg: RoadSegment, i: int) -> Vec3:
+        return seg.point_at(self.ap_along_m(i), AIM_LANE_Y_M, CLIENT_HEIGHT_M)
+
+    # ------------------------------------------------------ lane geometry
+    def leg_endpoints(self, a: Intersection, b: Intersection) -> Tuple[Vec3, Vec3]:
+        """Waypoints for driving the segment from ``a`` to ``b``.
+
+        Travel in the +along direction uses the near lane, the opposite
+        direction the far lane (both on the AP side of the road, exactly
+        the two-lane layout of the single-road testbed).
+        """
+        seg = self.segment_between(a, b)
+        forward = seg.a == a
+        lane = NEAR_LANE_Y_M if forward else FAR_LANE_Y_M
+        start_along = 0.0 if forward else seg.length_m
+        end_along = seg.length_m if forward else 0.0
+        return (
+            seg.point_at(start_along, lane, CLIENT_HEIGHT_M),
+            seg.point_at(end_along, lane, CLIENT_HEIGHT_M),
+        )

@@ -1,0 +1,142 @@
+"""Vehicle routes through the road grid.
+
+A route is a walk over grid intersections.  At every intersection the
+vehicle chooses its next move with the transit-survey turn weights
+(16/32 straight on, 7/32 left, 7/32 right, 2/32 U-turn), renormalised
+over the moves the grid actually offers, drawn from a dedicated seeded
+RNG stream -- so a city drive is exactly reproducible from its seed.
+
+:class:`VehiclePlan` turns a route into a
+:class:`~repro.mobility.trajectory.WaypointTrajectory` (lane-offset
+waypoints per leg, short diagonals across intersections) plus the
+per-leg time windows the builder uses to route downlink traffic, gate
+the per-segment controllers, and schedule channel retunes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..mobility.trajectory import WaypointTrajectory
+from .grid import Intersection, RoadGrid
+
+__all__ = ["Leg", "VehiclePlan", "random_route", "TURN_WEIGHTS"]
+
+#: (forward, back, left, right) out of 32 -- SNIPPETS street-survey odds.
+TURN_WEIGHTS: Tuple[float, float, float, float] = (16.0, 2.0, 7.0, 7.0)
+
+
+def _turn_moves(d: Tuple[int, int]) -> List[Tuple[Tuple[int, int], float]]:
+    """Candidate (direction, weight) moves given incoming direction ``d``.
+
+    Directions are (d_row, d_col); rows run north so a left turn rotates
+    the heading counter-clockwise in the x/y plane.
+    """
+    dr, dc = d
+    return [
+        ((dr, dc), TURN_WEIGHTS[0]),  # forward
+        ((-dr, -dc), TURN_WEIGHTS[1]),  # back (U-turn)
+        ((dc, -dr), TURN_WEIGHTS[2]),  # left
+        ((-dc, dr), TURN_WEIGHTS[3]),  # right
+    ]
+
+
+def random_route(
+    grid: RoadGrid,
+    rng: np.random.Generator,
+    start: Optional[Intersection] = None,
+    min_duration_s: float = 10.0,
+    speed_mps: float = 6.7,
+) -> List[Intersection]:
+    """A seeded random walk long enough to last ``min_duration_s``."""
+    nodes = grid.intersections()
+    if start is None:
+        start = nodes[int(rng.integers(0, len(nodes)))]
+    route = [start]
+    nbrs = grid.neighbors(start)
+    route.append(nbrs[int(rng.integers(0, len(nbrs)))])
+    n_legs_needed = max(1, int(np.ceil(min_duration_s * speed_mps / grid.block_m)))
+    while len(route) - 1 < n_legs_needed:
+        prev, cur = route[-2], route[-1]
+        d = (cur[0] - prev[0], cur[1] - prev[1])
+        moves: List[Tuple[int, int]] = []
+        weights: List[float] = []
+        for e, w in _turn_moves(d):
+            target = (cur[0] + e[0], cur[1] + e[1])
+            if 0 <= target[0] < grid.rows and 0 <= target[1] < grid.cols:
+                moves.append(target)
+                weights.append(w)
+        total = sum(weights)
+        probs = [w / total for w in weights]
+        choice = int(rng.choice(len(moves), p=probs))
+        route.append(moves[choice])
+    return route
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One segment traversal: ``[t_enter, t_exit)`` on ``segment``."""
+
+    t_enter: float
+    t_exit: float
+    segment: int
+    channel: int
+
+
+class VehiclePlan:
+    """A route realised as a trajectory plus per-leg time windows."""
+
+    def __init__(
+        self,
+        grid: RoadGrid,
+        route: List[Intersection],
+        speed_mps: float,
+        start_time: float = 0.0,
+    ):
+        if len(route) < 2:
+            raise ValueError("a route needs at least two intersections")
+        self.grid = grid
+        self.route = list(route)
+        waypoints = []
+        seg_indices: List[int] = []
+        for a, b in zip(self.route, self.route[1:]):
+            p_start, p_end = grid.leg_endpoints(a, b)
+            waypoints.extend((p_start, p_end))
+            seg_indices.append(grid.segment_between(a, b).index)
+        self.trajectory = WaypointTrajectory(waypoints, speed_mps, start_time)
+        arrivals = self.trajectory.arrival_times()
+        self.legs: List[Leg] = []
+        for k, seg_idx in enumerate(seg_indices):
+            t_enter = arrivals[2 * k]
+            t_exit = (
+                arrivals[2 * (k + 1)]
+                if k + 1 < len(seg_indices)
+                else self.trajectory.end_time
+            )
+            channel = grid.segments[seg_idx].channel
+            self.legs.append(Leg(t_enter, t_exit, seg_idx, channel))
+        self._enter_times = [leg.t_enter for leg in self.legs]
+
+    @property
+    def end_time(self) -> float:
+        return self.trajectory.end_time
+
+    def leg_at(self, t: float) -> Leg:
+        """The leg active at ``t`` (clamped to the first/last leg)."""
+        i = bisect.bisect_right(self._enter_times, t) - 1
+        return self.legs[max(0, i)]
+
+    def segment_at(self, t: float) -> int:
+        return self.leg_at(t).segment
+
+    def segments_visited(self) -> List[int]:
+        """Distinct segment indices in first-visit order."""
+        out: List[int] = []
+        for leg in self.legs:
+            if leg.segment not in out:
+                out.append(leg.segment)
+        return out

@@ -1,0 +1,70 @@
+"""Uniform-grid spatial index over AP positions.
+
+The single-road builder constructs a :class:`~repro.phy.channel.Link`
+for every (AP, client) pair -- an all-pairs matrix that is fine for 8
+APs and fatal for 128.  The city builder instead inserts every AP into
+this index and, per vehicle, queries it along the route's sample
+points; only APs that ever come within ``link_range_m`` of the route
+get a fading link (and therefore CSI, candidacy, and airtime cost).
+
+Queries are deterministic: candidate cells are visited in sorted order
+and entries within a cell in insertion order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, List, Tuple, TypeVar
+
+__all__ = ["SpatialIndex"]
+
+T = TypeVar("T")
+Cell = Tuple[int, int]
+
+
+class SpatialIndex(Generic[T]):
+    """2-D point index with uniform square cells of edge ``cell_m``."""
+
+    def __init__(self, cell_m: float):
+        if cell_m <= 0:
+            raise ValueError("cell_m must be positive")
+        self.cell_m = float(cell_m)
+        self._cells: Dict[Cell, List[Tuple[T, float, float]]] = {}
+        self.n_items = 0
+
+    def cell_of(self, x: float, y: float) -> Cell:
+        return (math.floor(x / self.cell_m), math.floor(y / self.cell_m))
+
+    def insert(self, item: T, x: float, y: float) -> None:
+        self._cells.setdefault(self.cell_of(x, y), []).append((item, x, y))
+        self.n_items += 1
+
+    def query(self, x: float, y: float, radius_m: float) -> List[T]:
+        """Items within ``radius_m`` of ``(x, y)``, deterministic order."""
+        r = radius_m
+        cx_lo, cy_lo = self.cell_of(x - r, y - r)
+        cx_hi, cy_hi = self.cell_of(x + r, y + r)
+        r2 = r * r
+        out: List[T] = []
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                for item, ix, iy in self._cells.get((cx, cy), ()):
+                    dx, dy = ix - x, iy - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(item)
+        return out
+
+    def query_path(
+        self,
+        points: List[Tuple[float, float]],
+        radius_m: float,
+    ) -> List[T]:
+        """Union of queries along ``points``, deduplicated, first-hit order."""
+        seen = set()
+        out: List[T] = []
+        for x, y in points:
+            for item in self.query(x, y, radius_m):
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+        return out

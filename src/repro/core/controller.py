@@ -300,10 +300,20 @@ class WgttController:
                 now, client, self.epoch, packet.wgtt_index
             )
         for ap_id in targets:
+            self._pre_feed(client, state, ap_id)
             clone = copy.copy(packet)
             clone.tunnel = []
             clone.encapsulate(self.node_id, ap_id)
             self.backhaul.send(self.node_id, ap_id, clone)
+
+    def _pre_feed(self, client: int, state, ap_id: int) -> None:
+        """Hook: about to enqueue a downlink clone for ``ap_id``.
+
+        The base controller does nothing.  Subclasses whose clients can
+        leave and re-enter an AP's coverage (city grids) use this to
+        flush a ring that has been starved long enough for its contents
+        to alias into the live index window.
+        """
 
     # ---------------------------------------------------------------- uplink
     def on_backhaul(self, packet: Packet, src: int) -> None:

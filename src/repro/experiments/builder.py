@@ -96,10 +96,28 @@ class ExperimentConfig:
     #: (no-duplicate-delivery, bounded reordering, index monotonicity,
     #: single-serving-AP) on every built component.
     check_invariants: bool = False
+    #: City-scale scenario (a :class:`repro.city.CityConfig`, a dict, or
+    #: its JSON string).  Strictly opt-in: None builds the single-road
+    #: testbed exactly as before; a value routes :func:`build_network`
+    #: to :class:`repro.city.CityNetwork` (road grid, per-segment
+    #: controllers, sharded medium).  ``road``/``channel_plan`` are
+    #: ignored in city mode (the grid supplies both).
+    city: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("wgtt", "baseline"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.city is not None:
+            # Imported lazily: repro.city depends on this module.
+            from ..city.config import coerce_city
+
+            self.city = coerce_city(self.city)
+            if self.mode != "wgtt":
+                raise ValueError("city drives support wgtt mode only")
+            if self.fault_scenario is not None or self.ha is not None:
+                raise ValueError(
+                    "city drives do not support fault_scenario/ha yet"
+                )
         if self.fault_scenario is not None:
             self.fault_scenario = coerce_scenario(self.fault_scenario)
         if self.policy is not None:
@@ -366,10 +384,18 @@ class Network:
         self.sim.run(until=until)
 
 
-def build_network(config: Optional[ExperimentConfig] = None, **overrides) -> Network:
-    """Build a testbed network from a config (or keyword overrides)."""
+def build_network(config: Optional[ExperimentConfig] = None, **overrides):
+    """Build a testbed network from a config (or keyword overrides).
+
+    Returns a :class:`Network`, or a :class:`repro.city.CityNetwork`
+    when ``config.city`` is set.
+    """
     if config is None:
         config = ExperimentConfig(**overrides)
     elif overrides:
         config = replace(config, **overrides)
+    if config.city is not None:
+        from ..city.builder import CityNetwork
+
+        return CityNetwork(config)
     return Network(config)

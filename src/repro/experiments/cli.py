@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.ha import coerce_ha
 from ..faults import FaultScenario
-from ..mobility import LinearTrajectory, RoadLayout, mph_to_mps
+from ..mobility import LEAD_IN_M, LinearTrajectory, RoadLayout, mph_to_mps
 from ..orchestration import ResultCache, SweepSpec, run_sweep
 from ..perf import PERF
 from ..policies import (
@@ -75,7 +75,24 @@ def _load_policy(arg: Optional[str]) -> Optional[PolicySpec]:
 
 def _coverage_window(speed_mph: float, road: RoadLayout):
     v = mph_to_mps(speed_mph)
-    return 15.0 / v, (road.span_m + 15.0) / v
+    return LEAD_IN_M / v, (road.span_m + LEAD_IN_M) / v
+
+
+def _load_city(arg: Optional[str]):
+    """``--city`` accepts a CityConfig JSON file path or inline JSON."""
+    if arg is None:
+        return None
+    from ..city import CityConfig
+
+    if os.path.exists(arg):
+        with open(arg, "r", encoding="utf-8") as fh:
+            return CityConfig.from_json(fh.read())
+    if arg.lstrip().startswith("{"):
+        try:
+            return CityConfig.from_json(arg)
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"--city: {exc}")
+    raise SystemExit(f"--city: no such file: {arg}")
 
 
 def _load_ha(arg: Optional[str]):
@@ -92,6 +109,7 @@ def cmd_drive(args: argparse.Namespace) -> int:
     scenario = _load_fault_scenario(args.fault_scenario)
     policy = _load_policy(args.policy)
     ha = _load_ha(args.ha)
+    city = _load_city(args.city)
     extra = {}
     if scenario is not None:
         extra["fault_scenario"] = scenario
@@ -99,8 +117,12 @@ def cmd_drive(args: argparse.Namespace) -> int:
         extra["policy"] = policy
     if ha is not None:
         extra["ha"] = ha
+    if city is not None:
+        extra["city"] = city
     if args.check_invariants:
         extra["check_invariants"] = True
+    if args.duration is not None:
+        extra["duration_s"] = args.duration
     if args.profile:
         PERF.reset()
     from time import perf_counter
@@ -115,16 +137,31 @@ def cmd_drive(args: argparse.Namespace) -> int:
         **extra,
     )
     wall_clock_s = perf_counter() - wall_t0
-    road = result.net.road
-    if args.speed > 0:
-        t0, t1 = _coverage_window(args.speed, road)
+    if city is not None:
+        t0, t1 = result.measure_t0, result.measure_t1
+    elif args.speed > 0:
+        t0, t1 = _coverage_window(args.speed, result.net.road)
     else:
         t0, t1 = 0.5, result.duration_s
     throughput = mean_throughput_mbps(result.deliveries, t0, t1)
     print(f"mode           : {args.mode}")
     if policy is not None:
         print(f"policy         : {policy.label()}")
-    print(f"speed          : {args.speed} mph")
+    if city is not None:
+        print(f"city           : {city.rows}x{city.cols} grid, "
+              f"{result.extras['n_segments']} segments, "
+              f"{result.extras['n_aps']} APs, "
+              f"{result.extras['n_vehicles']} vehicles "
+              f"at {city.speed_mph:g} mph")
+        per_seg = result.extras["per_segment_mbps"]
+        busiest = sorted(per_seg, key=per_seg.get, reverse=True)[:3]
+        print(f"fleet goodput  : {result.extras['fleet_mbps']:.2f} Mbit/s "
+              "(sum over vehicles)")
+        print("busiest segs   : " + ", ".join(
+            f"#{seg} {per_seg[seg]:.1f} Mb/s" for seg in busiest
+        ))
+    else:
+        print(f"speed          : {args.speed} mph")
     print(f"traffic        : {args.traffic}")
     print(f"throughput     : {throughput:.2f} Mbit/s (in coverage)")
     print(f"AP switches    : {result.timeline.switch_count}")
@@ -178,6 +215,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         policies = [_load_policy(p.strip())
                     for p in args.policies.split(",") if p.strip()]
     overrides = {}
+    city = _load_city(args.city)
     ha = _load_ha(args.ha)
     if ha is not None:
         # Overrides must be scalars: carry the knobs as canonical JSON
@@ -190,7 +228,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
         seeds=seeds, udp_rate_mbps=args.udp_rate,
         n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
-        fault_scenario=scenario, policies=policies,
+        fault_scenario=scenario, policies=policies, city=city,
         overrides=overrides,
     )
     cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
@@ -300,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm the runtime invariant monitors (duplicate "
                             "delivery, reordering, index monotonicity, "
                             "single serving AP); nonzero exit on violation")
+    drive.add_argument("--city", default=None, metavar="FILE_OR_JSON",
+                       help="run a city fleet drive: CityConfig JSON (file "
+                            "path or inline, e.g. '{\"rows\": 3, \"cols\": "
+                            "3}'); --speed/--mode=baseline do not apply")
+    drive.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (city drives default to 10)")
     drive.set_defaults(fn=cmd_drive)
 
     sweep = sub.add_parser(
@@ -341,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "defaults, or inline HaParams JSON)")
     sweep.add_argument("--check-invariants", action="store_true",
                        help="arm the runtime invariant monitors on every job")
+    sweep.add_argument("--city", default=None, metavar="FILE_OR_JSON",
+                       help="CityConfig JSON applied to every job (file path "
+                            "or inline); use --modes wgtt with this")
     sweep.set_defaults(fn=cmd_sweep)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")

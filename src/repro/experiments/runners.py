@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.client import MobileClient
 from ..perf import PERF
 from ..mobility.trajectory import (
+    COVERAGE_ENTRY_OFFSET_M,
     LinearTrajectory,
     RoadLayout,
     StationaryTrajectory,
@@ -172,13 +173,27 @@ def run_single_drive(
     warmup_s: float = 0.5,
     config: Optional[ExperimentConfig] = None,
     trajectory: Optional[Trajectory] = None,
+    city=None,
     **config_overrides,
 ) -> DriveResult:
     """One client transiting the AP array with a bulk download.
 
     ``traffic`` is ``"tcp"`` or ``"udp"``.  ``speed_mph == 0`` parks the
-    client at the middle AP (the static case of Fig. 13).
+    client at the middle AP (the static case of Fig. 13).  ``city`` (a
+    :class:`repro.city.CityConfig`, dict, or JSON string) runs a fleet
+    drive over a road grid instead; ``speed_mph``/``road``/``trajectory``
+    are then ignored (the city spec carries its own speed and geometry).
     """
+    if city is not None:
+        from ..city.runner import run_city_drive
+
+        config = ExperimentConfig(
+            mode=mode, seed=seed, city=city, **config_overrides
+        )
+        return run_city_drive(
+            config, traffic=traffic, udp_rate_mbps=udp_rate_mbps,
+            duration_s=duration_s, warmup_s=warmup_s,
+        )
     road = road or RoadLayout()
     if config is None:
         config = ExperimentConfig(
@@ -196,7 +211,7 @@ def run_single_drive(
             # Start the flow once the client is inside coverage (~8 m
             # before the first AP) -- the paper's drives begin with the
             # client already connected.
-            entry_x = min(road.ap_x) - 8.0
+            entry_x = min(road.ap_x) - COVERAGE_ENTRY_OFFSET_M
             traffic_start_s = max(
                 traffic_start_s, (entry_x - trajectory.start_x) / trajectory.speed_mps
             )

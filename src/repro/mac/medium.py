@@ -172,10 +172,39 @@ class Medium:
             return False  # 2.4 GHz channels 1/6/11 are orthogonal
         return self.rx_power_dbm(tx_radio, rx_radio, t) > self.params.cs_threshold_dbm
 
+    # ------------------------------------------------------- candidate hooks
+    # Subclasses with spatial partitioning (repro.city.ShardedMedium)
+    # override these five hooks to bound the sets scanned by carrier
+    # sense, capture, and reception.  The base implementations return the
+    # global sets in insertion order, so the default single-road medium
+    # is bit-identical to the pre-hook code.
+    def _activate(self, tx: Transmission) -> None:
+        """Record ``tx`` as on the air."""
+        self._active.append(tx)
+
+    def _deactivate(self, tx: Transmission) -> None:
+        """Remove ``tx`` from the on-air set (idempotent)."""
+        try:
+            self._active.remove(tx)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _active_near(self, radio) -> List[Transmission]:
+        """Active transmissions that could be audible at ``radio``."""
+        return self._active
+
+    def _interference_candidates(self, tx: Transmission, rx_radio) -> List[Transmission]:
+        """Active transmissions that could interfere with ``tx`` at ``rx_radio``."""
+        return self._active
+
+    def _receiver_candidates(self, tx: Transmission) -> List[object]:
+        """Radios that could possibly hear ``tx``."""
+        return list(self._radios.values())
+
     def busy_until(self, radio, t: float) -> float:
         """Latest NAV end among transmissions audible to ``radio``."""
         busy = t
-        for tx in self._active:
+        for tx in self._active_near(radio):
             if tx.radio is radio:
                 busy = max(busy, tx.nav_end)
             elif tx.nav_end > t and self._audible(tx.radio, radio, t):
@@ -222,7 +251,7 @@ class Medium:
         # Re-check the channel.  A transmission that started more than one
         # slot ago is sensed (defer); one inside the vulnerable window is
         # not (we transmit anyway and may collide).
-        for tx in self._active:
+        for tx in self._active_near(radio):
             if tx.nav_end > now and tx.t_start < now - self.timing.slot_s:
                 if self._audible(tx.radio, radio, now):
                     self._pending_access[radio.node_id] = self.sim.schedule(
@@ -261,7 +290,7 @@ class Medium:
                 + block_ack_airtime_s(self.timing)
             )
         tx = Transmission(radio, frame, now, data_end, nav_end)
-        self._active.append(tx)
+        self._activate(tx)
         self.data_transmissions += 1
         self.sim.schedule_at(data_end, self._complete, tx, mcs)
         self.sim.schedule_at(nav_end + 1e-9, self._cleanup, tx)
@@ -286,7 +315,7 @@ class Medium:
         # credits for the near-zero collision rate of Table 3.  Only
         # starts within the preamble-detection window can still collide.
         detect_window = 2e-6
-        for other in self._active:
+        for other in self._active_near(radio):
             if (
                 other.is_response
                 and other.data_end > now
@@ -297,21 +326,18 @@ class Medium:
                 return
         airtime = self._frame_airtime(frame, None)
         tx = Transmission(radio, frame, now, now + airtime, now + airtime, is_response=True)
-        self._active.append(tx)
+        self._activate(tx)
         self.response_transmissions += 1
         self.sim.schedule_at(tx.data_end, self._complete, tx, None)
         self.sim.schedule_at(tx.nav_end + 1e-9, self._cleanup, tx)
 
     def _cleanup(self, tx: Transmission) -> None:
-        try:
-            self._active.remove(tx)
-        except ValueError:  # pragma: no cover - defensive
-            pass
+        self._deactivate(tx)
 
     # -------------------------------------------------------------- reception
     def _interferers(self, tx: Transmission, rx_radio, t: float) -> List[Transmission]:
         out = []
-        for other in self._active:
+        for other in self._interference_candidates(tx, rx_radio):
             if other is tx or other.radio is tx.radio or other.radio is rx_radio:
                 continue
             if not self._same_channel(other.radio, rx_radio):
@@ -341,7 +367,7 @@ class Medium:
     def _candidate_receivers(self, tx: Transmission) -> List[object]:
         frame = tx.frame
         out = []
-        for radio in self._radios.values():
+        for radio in self._receiver_candidates(tx):
             if radio is tx.radio:
                 continue
             if not self._same_channel(tx.radio, radio):

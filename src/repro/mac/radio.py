@@ -50,6 +50,11 @@ class PeerState:
         self.mpdus_acked = 0
         self.mpdus_dropped = 0
         self.ba_timeouts = 0
+        #: Armed by flush_retries: MPDUs that come back unacked after the
+        #: flush (they were already on the air when it ran) are dropped
+        #: instead of re-queued.  Cleared when fresh data is built for
+        #: the peer, i.e. this station legitimately serves it again.
+        self.drop_requeues = False
 
     def next_seq(self) -> int:
         seq = self.seq_counter_value
@@ -120,6 +125,11 @@ class Radio:
         self._awaiting_ba: Optional[Tuple[int, Ampdu]] = None
         self._ba_timer: Optional[EventHandle] = None
         self.enabled = True
+        #: Opt-in (city builder arms it on APs): after flush_retries, an
+        #: aggregate that was already on the air when the flush ran is
+        #: dropped on BA timeout instead of re-queued.  Off by default so
+        #: single-road drives stay bit-identical to the golden digests.
+        self.strict_flush = False
         medium.register_radio(self)
 
     # ------------------------------------------------------------- peer state
@@ -150,6 +160,12 @@ class Radio:
         state.scoreboard.forget([m.seq for m in state.retry_queue])
         state.mpdus_dropped += dropped
         state.retry_queue.clear()
+        # An aggregate already on the air survives the flush; without
+        # this latch its BA timeout would re-queue the stale MPDUs and
+        # this station would retry them long after delivery moved on
+        # (deep reordering at the client under saturation).
+        if self.strict_flush:
+            state.drop_requeues = True
         return dropped
 
     # ----------------------------------------------------------- power state
@@ -247,6 +263,7 @@ class Radio:
                 break
             mpdus.append(Mpdu(packet=packet, seq=state.next_seq()))
             payloads.append(packet.size_bytes)
+            state.drop_requeues = False
         if not mpdus:
             return None
         return Ampdu(
@@ -442,7 +459,7 @@ class Radio:
             if mpdu.seq not in state.outstanding:
                 continue
             del state.outstanding[mpdu.seq]
-            if mpdu.retries >= self.retry_limit:
+            if mpdu.retries >= self.retry_limit or state.drop_requeues:
                 state.mpdus_dropped += 1
                 state.scoreboard.forget([mpdu.seq])
                 self._on_mpdu_dropped(peer_id, mpdu, t)

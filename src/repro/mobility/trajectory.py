@@ -8,6 +8,7 @@ like Fig. 9 of the paper.  Cars drive along ``x`` in one of two lanes.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -17,6 +18,7 @@ __all__ = [
     "Trajectory",
     "LinearTrajectory",
     "StationaryTrajectory",
+    "WaypointTrajectory",
 ]
 
 Vec3 = Tuple[float, float, float]
@@ -26,8 +28,15 @@ AP_HEIGHT_M = 10.0
 CLIENT_HEIGHT_M = 1.5
 NEAR_LANE_Y_M = 2.0
 FAR_LANE_Y_M = 5.5
+AIM_LANE_Y_M = (NEAR_LANE_Y_M + FAR_LANE_Y_M) / 2.0
 DEFAULT_AP_SPACING_M = 7.5
 DEFAULT_N_APS = 8
+#: Along-road extent of the default 8-AP testbed array.
+DEFAULT_SPAN_M = DEFAULT_AP_SPACING_M * (DEFAULT_N_APS - 1)
+#: Drives enter this far before the first AP and exit this far past the last.
+LEAD_IN_M = 15.0
+#: Coverage/traffic accounting starts this far before the first AP.
+COVERAGE_ENTRY_OFFSET_M = 8.0
 
 
 def mph_to_mps(mph: float) -> float:
@@ -49,7 +58,7 @@ class RoadLayout:
     )
     ap_setback_m: float = AP_SETBACK_M
     ap_height_m: float = AP_HEIGHT_M
-    aim_lane_y_m: float = (NEAR_LANE_Y_M + FAR_LANE_Y_M) / 2.0
+    aim_lane_y_m: float = AIM_LANE_Y_M
 
     @classmethod
     def uniform(cls, n_aps: int = DEFAULT_N_APS, spacing_m: float = DEFAULT_AP_SPACING_M) -> "RoadLayout":
@@ -155,7 +164,7 @@ class LinearTrajectory(Trajectory):
         road: RoadLayout,
         speed_mph: float,
         lane_y: float = NEAR_LANE_Y_M,
-        lead_in_m: float = 15.0,
+        lead_in_m: float = LEAD_IN_M,
         reverse: bool = False,
         start_time: float = 0.0,
         offset_m: float = 0.0,
@@ -173,7 +182,7 @@ class LinearTrajectory(Trajectory):
             return cls(last + lead_in_m - offset_m, -speed, lane_y, start_time)
         return cls(first - lead_in_m + offset_m, speed, lane_y, start_time)
 
-    def transit_duration(self, road: RoadLayout, lead_out_m: float = 15.0) -> float:
+    def transit_duration(self, road: RoadLayout, lead_out_m: float = LEAD_IN_M) -> float:
         """Seconds from ``start_time`` until the car exits the array."""
         first, last = min(road.ap_x), max(road.ap_x)
         if self.speed_signed_mps > 0:
@@ -181,3 +190,81 @@ class LinearTrajectory(Trajectory):
         else:
             distance = self.start_x - (first - lead_out_m)
         return max(0.0, distance / self.speed_mps)
+
+
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear, constant-speed drive through a list of waypoints.
+
+    The client departs ``waypoints[0]`` at ``start_time`` and moves at
+    ``speed_mps`` along each straight leg in turn.  Before ``start_time``
+    it sits at the first waypoint; after the final waypoint it parks
+    there.  Zero-length legs (repeated waypoints) are tolerated: they
+    take no time and are skipped during interpolation.
+    """
+
+    def __init__(
+        self,
+        waypoints: Sequence[Vec3],
+        speed_mps: float,
+        start_time: float = 0.0,
+    ):
+        if not waypoints:
+            raise ValueError("need at least one waypoint")
+        if speed_mps <= 0:
+            raise ValueError("speed_mps must be positive; use StationaryTrajectory")
+        self.waypoints: List[Vec3] = [tuple(w) for w in waypoints]
+        self.speed_mps = float(speed_mps)
+        self.start_time = start_time
+        # Cumulative arrival time at each waypoint, relative to start_time.
+        self._arrivals: List[float] = [0.0]
+        total = 0.0
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            total += _dist3(a, b) / self.speed_mps
+            self._arrivals.append(total)
+        self.total_duration_s = total
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.total_duration_s
+
+    def arrival_times(self) -> List[float]:
+        """Absolute arrival time at each waypoint."""
+        return [self.start_time + a for a in self._arrivals]
+
+    def position(self, t: float) -> Vec3:
+        rel = t - self.start_time
+        if rel <= 0.0 or len(self.waypoints) == 1:
+            return self.waypoints[0]
+        if rel >= self.total_duration_s:
+            return self.waypoints[-1]
+        # Rightmost leg whose start time is <= rel.
+        i = bisect.bisect_right(self._arrivals, rel) - 1
+        i = min(i, len(self.waypoints) - 2)
+        leg_t = self._arrivals[i + 1] - self._arrivals[i]
+        if leg_t <= 0.0:
+            return self.waypoints[i + 1]
+        frac = (rel - self._arrivals[i]) / leg_t
+        a, b = self.waypoints[i], self.waypoints[i + 1]
+        return (
+            a[0] + (b[0] - a[0]) * frac,
+            a[1] + (b[1] - a[1]) * frac,
+            a[2] + (b[2] - a[2]) * frac,
+        )
+
+    def heading_at(self, t: float) -> Tuple[float, float]:
+        """Unit (dx, dy) direction of travel at ``t`` (zero if parked)."""
+        rel = t - self.start_time
+        if rel < 0.0 or rel >= self.total_duration_s or len(self.waypoints) == 1:
+            return (0.0, 0.0)
+        i = bisect.bisect_right(self._arrivals, rel) - 1
+        i = min(i, len(self.waypoints) - 2)
+        a, b = self.waypoints[i], self.waypoints[i + 1]
+        dx, dy = b[0] - a[0], b[1] - a[1]
+        norm = (dx * dx + dy * dy) ** 0.5
+        if norm <= 0.0:
+            return (0.0, 0.0)
+        return (dx / norm, dy / norm)
+
+
+def _dist3(a: Vec3, b: Vec3) -> float:
+    return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2) ** 0.5

@@ -39,7 +39,9 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "default_code_salt"]
 #: 2: JobSpec grew ``policy``; DriveSummary grew ``policy``.
 #: 3: DriveSummary grew ``dropped_records``/``resilience``;
 #:    ExperimentConfig grew ``ha``/``check_invariants``.
-CACHE_SCHEMA_VERSION = 3
+#: 4: JobSpec grew ``city``; DriveSummary grew ``n_vehicles``/
+#:    ``n_segments``/``per_segment_mbps``.
+CACHE_SCHEMA_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

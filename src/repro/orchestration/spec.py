@@ -52,6 +52,14 @@ def _canonical_policy_json(value: Any) -> Optional[str]:
     spec = coerce_policy(value)
     return None if spec is None else spec.to_json()
 
+
+def _canonical_city_json(value: Any) -> Optional[str]:
+    """Normalise any accepted city form to its canonical JSON string."""
+    from ..city.config import coerce_city
+
+    city = coerce_city(value)
+    return None if city is None else city.to_json()
+
 #: Scalar types allowed in job overrides (anything else cannot be hashed
 #: into a stable cache key or serialised to JSON losslessly).
 _SCALAR_TYPES = (int, float, str, bool, type(None))
@@ -99,6 +107,11 @@ class JobSpec:
     #: seed does NOT depend on the policy, so policies in one sweep
     #: compare on identical channel realisations.
     policy: Optional[str] = None
+    #: City grid spec as canonical JSON (None = single-road drive).
+    #: Accepts a CityConfig, dict, or JSON string at construction;
+    #: stored normalised.  ``speed_mph``/``n_aps``/``ap_spacing_m`` are
+    #: ignored when set (the city spec carries its own geometry).
+    city: Optional[str] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -112,6 +125,9 @@ class JobSpec:
         object.__setattr__(
             self, "policy", _canonical_policy_json(self.policy)
         )
+        object.__setattr__(self, "city", _canonical_city_json(self.city))
+        if self.city is not None and self.mode != "wgtt":
+            raise ValueError("city drives support wgtt mode only")
         normalized = tuple(sorted((str(k), v) for k, v in self.overrides))
         for name, value in normalized:
             if not isinstance(value, _SCALAR_TYPES):
@@ -145,6 +161,10 @@ class JobSpec:
             parts.append(f"fault={coerce_scenario(self.fault_scenario).key_hash()}")
         if self.policy is not None:
             parts.append(f"policy={coerce_policy(self.policy).label()}")
+        if self.city is not None:
+            from ..city.config import coerce_city
+
+            parts.append(f"city={coerce_city(self.city).key_hash()}")
         parts.extend(f"{k}={v}" for k, v in self.overrides)
         return ":".join(parts)
 
@@ -185,6 +205,9 @@ class JobSpec:
             kwargs["fault_scenario"] = self.fault_scenario
         if self.policy is not None:
             kwargs["policy"] = self.policy
+        if self.city is not None:
+            kwargs["city"] = self.city
+            kwargs.pop("road", None)  # the grid is the geometry
         kwargs.update(dict(self.overrides))
         return kwargs
 
@@ -216,6 +239,10 @@ class SweepSpec:
     #: entirely.  Seeds do not depend on the policy, so every policy in
     #: the sweep sees identical channel realisations per grid point.
     policies: Optional[Sequence[Any]] = None
+    #: City grid spec applied to every job (CityConfig, dict, or JSON).
+    #: City sweeps iterate seeds/traffics as usual; the speed axis is
+    #: ignored by the runner (the city spec carries its own speed).
+    city: Optional[Any] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
 
     def expand(self) -> List[JobSpec]:
@@ -223,6 +250,7 @@ class SweepSpec:
         jobs: List[JobSpec] = []
         override_items = tuple(sorted(self.overrides.items()))
         scenario_json = _canonical_scenario_json(self.fault_scenario)
+        city_json = _canonical_city_json(self.city)
         policy_axis = (
             [None] if self.policies is None
             else [_canonical_policy_json(p) for p in self.policies]
@@ -249,6 +277,7 @@ class SweepSpec:
                     ap_spacing_m=self.ap_spacing_m,
                     fault_scenario=scenario_json,
                     policy=policy,
+                    city=city_json,
                     overrides=override_items,
                 ))
         return jobs

@@ -14,13 +14,13 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..experiments.metrics import mean_throughput_mbps, throughput_timeseries
-from ..mobility.trajectory import mph_to_mps
+from ..mobility.trajectory import LEAD_IN_M, mph_to_mps
 
 __all__ = ["DriveSummary", "COVERAGE_LEAD_IN_M"]
 
 #: The client enters useful coverage ~15 m before the first AP (the
 #: measurement convention shared by the CLI and the benchmark harness).
-COVERAGE_LEAD_IN_M = 15.0
+COVERAGE_LEAD_IN_M = LEAD_IN_M
 
 #: Bin width of the stored throughput series (seconds).
 SUMMARY_BIN_S = 0.25
@@ -66,6 +66,13 @@ class DriveSummary:
     #: Fault/HA bookkeeping (checkpoints written, failovers, degraded-mode
     #: entries/exits, invariant checks...).  Empty for plain drives.
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: City-drive fleet shape (zero / empty for single-road drives; the
+    #: schema grew these in cache schema 4).
+    n_vehicles: int = 0
+    n_segments: int = 0
+    #: Per-segment goodput over the measurement window, Mbit/s, keyed by
+    #: segment index (only segments with deliveries appear).
+    per_segment_mbps: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------- build
     @classmethod
@@ -82,8 +89,14 @@ class DriveSummary:
         policy: str = "",
     ) -> "DriveSummary":
         """Extract the summary from a completed drive."""
-        road = result.net.road
-        if speed_mph > 0:
+        city = getattr(result.net, "city_config", None)
+        if city is not None:
+            # Fleet drives have no single coverage transit: routes keep
+            # the vehicles inside the grid for the whole measurement
+            # window, so the coverage window *is* the measurement window.
+            cov_t0, cov_t1 = result.measure_t0, result.measure_t1
+        elif speed_mph > 0:
+            road = result.net.road
             v = mph_to_mps(speed_mph)
             cov_t0 = COVERAGE_LEAD_IN_M / v
             cov_t1 = (road.span_m + COVERAGE_LEAD_IN_M) / v
@@ -124,6 +137,12 @@ class DriveSummary:
             policy=policy,
             dropped_records=result.trace.dropped_records,
             resilience=result.net.resilience_counters(),
+            n_vehicles=int(result.extras.get("n_vehicles", 0)),
+            n_segments=int(result.extras.get("n_segments", 0)),
+            per_segment_mbps={
+                int(seg): float(v)
+                for seg, v in result.extras.get("per_segment_mbps", {}).items()
+            },
         )
 
     # ----------------------------------------------------------- queries
@@ -147,4 +166,9 @@ class DriveSummary:
             (float(t), None if ap is None else int(ap))
             for t, ap in data.get("switch_events", [])
         ]
+        # JSON round-trips turn the int segment keys into strings.
+        data["per_segment_mbps"] = {
+            int(seg): float(v)
+            for seg, v in data.get("per_segment_mbps", {}).items()
+        }
         return cls(**data)

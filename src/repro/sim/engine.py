@@ -75,11 +75,6 @@ class EventHandle:
         """True while the event has neither fired nor been cancelled."""
         return not self.cancelled and self.fn is not None
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.fn, "__name__", repr(self.fn))
@@ -101,7 +96,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[EventHandle] = []
+        #: Heap of (time, seq, handle) tuples: the (float, int) prefix
+        #: keeps heapq comparisons at C speed instead of dispatching a
+        #: Python-level __lt__ per sift (the hot loop's dominant cost at
+        #: city scale), with the exact same (time, seq) ordering.
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._running = False
         self._events_fired = 0
@@ -120,7 +119,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
     # ------------------------------------------------------------ scheduling
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -143,8 +142,10 @@ class Simulator:
             )
         if not callable(fn):
             raise TypeError(f"event callback must be callable, got {fn!r}")
-        handle = EventHandle(max(when, self._now), next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        when = max(when, self._now)
+        seq = next(self._seq)
+        handle = EventHandle(when, seq, fn, args)
+        heapq.heappush(self._heap, (when, seq, handle))
         return handle
 
     # --------------------------------------------------------------- running
@@ -162,14 +163,14 @@ class Simulator:
         fired = 0
         try:
             while self._heap:
-                ev = self._heap[0]
+                when, _, ev = self._heap[0]
                 if ev.cancelled:
                     heapq.heappop(self._heap)
                     continue
-                if until is not None and ev.time > until + TIME_EPSILON:
+                if until is not None and when > until + TIME_EPSILON:
                     break
                 heapq.heappop(self._heap)
-                self._now = max(self._now, ev.time)
+                self._now = max(self._now, when)
                 fn, args = ev.fn, ev.args
                 ev.fn, ev.args = None, ()  # mark as fired
                 assert fn is not None
@@ -186,10 +187,10 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
+            when, _, ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
-            self._now = max(self._now, ev.time)
+            self._now = max(self._now, when)
             fn, args = ev.fn, ev.args
             ev.fn, ev.args = None, ()
             assert fn is not None
@@ -200,7 +201,7 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop every pending event (the clock is left where it is)."""
-        for ev in self._heap:
+        for _, _, ev in self._heap:
             ev.cancel()
         self._heap.clear()
 

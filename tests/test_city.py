@@ -1,0 +1,314 @@
+"""Tests for the city-scale subsystem: config, grid, mobility, spatial
+index, sharded medium, and the end-to-end fleet drive."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    DEFAULT_CHANNELS,
+    CityConfig,
+    RoadGrid,
+    ShardedMedium,
+    SpatialIndex,
+    VehiclePlan,
+    coerce_city,
+    random_route,
+    run_city_drive,
+)
+from repro.experiments.builder import ExperimentConfig, build_network
+from repro.experiments.runners import run_single_drive
+from repro.mobility.trajectory import AP_SETBACK_M, NEAR_LANE_Y_M, mph_to_mps
+
+
+# ---------------------------------------------------------------- config
+class TestCityConfig:
+    def test_json_roundtrip(self):
+        city = CityConfig(rows=2, cols=4, aps_per_segment=3, n_vehicles=5,
+                          speed_mph=25.0, sharded=False)
+        again = CityConfig.from_json(city.to_json())
+        assert again == city
+
+    def test_defaults_omitted_from_json(self):
+        assert json.loads(CityConfig().to_json()) == {}
+        assert json.loads(CityConfig(rows=4).to_json()) == {"rows": 4}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            CityConfig.from_dict({"rows": 2, "skyscrapers": 9})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CityConfig(rows=1, cols=1)  # no segments
+        with pytest.raises(ValueError):
+            CityConfig(block_m=0.0)
+        with pytest.raises(ValueError):
+            CityConfig(n_vehicles=-1)
+
+    def test_key_hash_stable_and_distinct(self):
+        a = CityConfig(rows=2, cols=3)
+        assert a.key_hash() == CityConfig(rows=2, cols=3).key_hash()
+        assert a.key_hash() != CityConfig(rows=3, cols=2).key_hash()
+        assert len(a.key_hash()) == 10
+
+    def test_coerce_forms(self):
+        city = CityConfig(rows=2, cols=2)
+        assert coerce_city(None) is None
+        assert coerce_city(city) is city
+        assert coerce_city({"rows": 2, "cols": 2}) == city
+        assert coerce_city(city.to_json()) == city
+
+    def test_counts(self):
+        city = CityConfig(rows=3, cols=3, aps_per_segment=6)
+        # rows*(cols-1) horizontal + cols*(rows-1) vertical segments.
+        assert city.n_segments == 12
+        assert city.n_aps == 72
+
+
+# ------------------------------------------------------------------ grid
+class TestRoadGrid:
+    def test_segment_count_and_lengths(self):
+        grid = RoadGrid(CityConfig(rows=2, cols=3, block_m=100.0))
+        assert len(grid.segments) == 2 * 2 + 3 * 1
+        assert all(seg.length_m == 100.0 for seg in grid.segments)
+
+    def test_adjacent_segments_get_different_channels(self):
+        for rows, cols in ((2, 2), (3, 3), (2, 6)):
+            grid = RoadGrid(CityConfig(rows=rows, cols=cols))
+            for seg in grid.segments:
+                for node in (seg.a, seg.b):
+                    for other in grid.segments_at(node):
+                        if other.index != seg.index:
+                            assert other.channel != seg.channel, (
+                                f"{rows}x{cols}: segments {seg.index} and "
+                                f"{other.index} share node {node} and "
+                                f"channel {seg.channel}"
+                            )
+
+    def test_channels_come_from_palette(self):
+        grid = RoadGrid(CityConfig(rows=3, cols=3))
+        assert {seg.channel for seg in grid.segments} <= set(DEFAULT_CHANNELS)
+
+    def test_ap_geometry(self):
+        city = CityConfig(rows=2, cols=2, block_m=120.0, aps_per_segment=4)
+        grid = RoadGrid(city)
+        seg = grid.segments[0]  # horizontal, row 0
+        x, y, z = grid.ap_position(seg, 0)
+        # APs sit at the setback lateral offset, evenly spaced along.
+        assert y == pytest.approx(seg.origin[1] + AP_SETBACK_M)
+        assert x == pytest.approx(seg.origin[0] + 0.5 * 120.0 / 4)
+        assert z > 0
+
+    def test_leg_endpoints_pick_travel_lane(self):
+        grid = RoadGrid(CityConfig(rows=2, cols=2, block_m=120.0))
+        seg = grid.segments[0]
+        fwd_a, fwd_b = grid.leg_endpoints(seg.a, seg.b)
+        rev_a, rev_b = grid.leg_endpoints(seg.b, seg.a)
+        assert fwd_a[1] == pytest.approx(seg.origin[1] + NEAR_LANE_Y_M)
+        assert rev_a[1] != pytest.approx(fwd_a[1])  # opposing lane
+        assert fwd_a[0] == pytest.approx(rev_b[0])
+
+
+# -------------------------------------------------------------- mobility
+class TestCityMobility:
+    def test_random_route_deterministic(self):
+        grid = RoadGrid(CityConfig(rows=3, cols=3))
+        r1 = random_route(grid, np.random.default_rng(42), min_duration_s=30.0)
+        r2 = random_route(grid, np.random.default_rng(42), min_duration_s=30.0)
+        assert r1 == r2
+
+    def test_random_route_stays_on_grid(self):
+        grid = RoadGrid(CityConfig(rows=3, cols=4))
+        route = random_route(grid, np.random.default_rng(7),
+                             min_duration_s=120.0)
+        for (r0, c0), (r1, c1) in zip(route, route[1:]):
+            assert 0 <= r1 < 3 and 0 <= c1 < 4
+            assert abs(r1 - r0) + abs(c1 - c0) == 1  # one block per leg
+
+    def test_plan_legs_partition_route(self):
+        grid = RoadGrid(CityConfig(rows=2, cols=3))
+        route = random_route(grid, np.random.default_rng(1),
+                             min_duration_s=60.0)
+        plan = VehiclePlan(grid, route, speed_mps=mph_to_mps(15.0))
+        assert plan.legs[0].t_enter == 0.0
+        for prev, cur in zip(plan.legs, plan.legs[1:]):
+            assert cur.t_enter == pytest.approx(prev.t_exit)
+        for leg in plan.legs:
+            assert leg.channel == grid.segments[leg.segment].channel
+            mid = 0.5 * (leg.t_enter + leg.t_exit)
+            assert plan.segment_at(mid) == leg.segment
+
+    def test_segments_visited_distinct(self):
+        grid = RoadGrid(CityConfig(rows=3, cols=3))
+        route = random_route(grid, np.random.default_rng(5),
+                             min_duration_s=180.0)
+        plan = VehiclePlan(grid, route, speed_mps=10.0)
+        visited = plan.segments_visited()
+        assert len(visited) == len(set(visited))
+        assert set(visited) == {leg.segment for leg in plan.legs}
+
+
+# --------------------------------------------------------------- spatial
+class TestSpatialIndex:
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = [(float(x), float(y)) for x, y in rng.uniform(0, 500, (60, 2))]
+        index = SpatialIndex(cell_m=75.0)
+        for i, (x, y) in enumerate(points):
+            index.insert(i, x, y)
+        for qx, qy, radius in ((100.0, 100.0, 60.0), (250.0, 400.0, 80.0)):
+            got = set(index.query(qx, qy, radius))
+            want = {
+                i for i, (x, y) in enumerate(points)
+                if (x - qx) ** 2 + (y - qy) ** 2 <= radius ** 2
+            }
+            assert got == want
+
+    def test_query_path_dedups_and_orders(self):
+        index = SpatialIndex(cell_m=50.0)
+        index.insert("a", 0.0, 0.0)
+        index.insert("b", 100.0, 0.0)
+        path = [(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)]
+        assert index.query_path(path, radius_m=60.0) == ["a", "b"]
+
+
+# ---------------------------------------------------------------- medium
+class TestShardedMedium:
+    def _net(self, sharded=True):
+        city = CityConfig(rows=1, cols=2, aps_per_segment=2, n_vehicles=1,
+                          sharded=sharded)
+        return build_network(ExperimentConfig(mode="wgtt", seed=0, city=city))
+
+    def test_aps_bucketed_on_their_channel(self):
+        net = self._net()
+        medium = net.medium
+        assert isinstance(medium, ShardedMedium)
+        for ap in net.aps:
+            key = medium._radio_shard[ap.node_id]
+            assert key[0] == ap.radio.channel
+
+    def test_receiver_candidates_stay_on_channel(self):
+        net = self._net()
+        medium = net.medium
+        ap = net.aps[0]
+        key = medium._ensure_current(ap.radio)
+        channel, cx, cy = key
+        for dx, dy in ((-1, 0), (0, 0), (1, 0)):
+            shard = medium._shards.get((channel + 1, cx + dx, cy + dy))
+            assert shard is None or ap.radio not in shard.radios.values()
+
+    def test_rebucket_follows_channel_change(self):
+        net = self._net()
+        medium = net.medium
+        ap = net.aps[0]
+        before = medium._radio_shard[ap.node_id]
+        ap.radio.channel = 161
+        medium.rebucket(ap.radio)
+        after = medium._radio_shard[ap.node_id]
+        assert after[0] == 161 and after != before
+        assert ap.node_id not in medium._shards[before].radios
+
+    def test_shard_stats_shape(self):
+        stats = self._net().medium.shard_stats()
+        assert stats["occupied_shards"] >= 1
+        assert stats["max_radios_per_shard"] >= 1
+
+
+# -------------------------------------------------------------- e2e runs
+def _drive(city, seed=0, duration_s=4.0, rate=8.0):
+    config = ExperimentConfig(mode="wgtt", seed=seed, city=city,
+                              check_invariants=True)
+    return run_city_drive(config, traffic="udp", udp_rate_mbps=rate,
+                          duration_s=duration_s)
+
+
+class TestCityDrive:
+    def test_small_grid_drive_delivers_and_holds_invariants(self):
+        city = CityConfig(rows=2, cols=2, aps_per_segment=4, n_vehicles=3)
+        result = _drive(city)
+        assert result.throughput_mbps > 1.0
+        assert result.extras["n_vehicles"] == 3
+        assert result.extras["n_aps"] == 16
+        assert sum(result.extras["per_segment_mbps"].values()) == (
+            pytest.approx(result.throughput_mbps, rel=0.2)
+        )
+        result.net.invariants.assert_ok()
+
+    def test_per_segment_controllers_share_one_bssid(self):
+        city = CityConfig(rows=2, cols=2, aps_per_segment=2, n_vehicles=1)
+        result = _drive(city, duration_s=2.0)
+        net = result.net
+        assert len(net.controllers) == city.n_segments
+        assert len({ap.radio.bssid for ap in net.aps}) == 1
+        assert [c.segment_index for c in net.controllers] == (
+            list(range(city.n_segments))
+        )
+
+    def test_spatial_link_gating_prunes_all_pairs(self):
+        city = CityConfig(rows=3, cols=3, aps_per_segment=4, n_vehicles=1)
+        result = _drive(city, duration_s=2.0, rate=2.0)
+        vehicle = result.net.vehicles[0]
+        # A single route cannot pass within range of every AP of a 3x3 grid.
+        assert 0 < len(vehicle.linked_ap_ids) < result.net.n_aps
+
+    def test_unsharded_medium_also_clean(self):
+        city = CityConfig(rows=2, cols=2, aps_per_segment=4, n_vehicles=2,
+                          sharded=False)
+        result = _drive(city, duration_s=3.0)
+        assert not isinstance(result.net.medium, ShardedMedium)
+        assert result.throughput_mbps > 1.0
+        result.net.invariants.assert_ok()
+
+    def test_run_single_drive_city_entry_point(self):
+        result = run_single_drive(
+            traffic="udp", udp_rate_mbps=4.0, duration_s=2.0, seed=1,
+            city={"rows": 1, "cols": 2, "aps_per_segment": 3, "n_vehicles": 1},
+        )
+        assert result.extras["n_segments"] == 1
+        summary = result.summarize(mode="wgtt", seed=1)
+        assert summary.n_vehicles == 1
+        assert summary.per_segment_mbps
+
+    def test_link_index_off_builds_all_pairs(self):
+        city = CityConfig(rows=3, cols=3, aps_per_segment=4, n_vehicles=1,
+                          link_index=False)
+        result = _drive(city, duration_s=2.0, rate=2.0)
+        vehicle = result.net.vehicles[0]
+        # The control-arm fallback links every client to every AP.
+        assert len(vehicle.linked_ap_ids) == result.net.n_aps
+        result.net.invariants.assert_ok()
+
+    def test_uplink_traffic_mode_delivers(self):
+        city = CityConfig(rows=2, cols=2, aps_per_segment=4, n_vehicles=3)
+        config = ExperimentConfig(mode="wgtt", seed=0, city=city,
+                                  check_invariants=True)
+        result = run_city_drive(config, traffic="udp-up", udp_rate_mbps=4.0,
+                                duration_s=3.0)
+        assert result.throughput_mbps > 1.0
+        assert all(v >= 0.0 for v in result.extras["per_vehicle_mbps"])
+        result.net.invariants.assert_ok()
+
+    def test_city_rejects_baseline_mode(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mode="baseline",
+                             city=CityConfig(rows=2, cols=2))
+
+
+def test_city_acceptance_fleet_drive():
+    """The headline scenario: a 3x3 grid (72 APs, one controller per road
+    segment), 50 vehicles, invariant monitors armed throughout."""
+    city = CityConfig(rows=3, cols=3, aps_per_segment=6, n_vehicles=50,
+                      speed_mph=20.0)
+    config = ExperimentConfig(mode="wgtt", seed=0, city=city,
+                              check_invariants=True)
+    result = run_city_drive(config, traffic="udp", udp_rate_mbps=3.0,
+                            duration_s=3.0)
+    net = result.net
+    assert net.n_aps == 72 >= 64
+    assert len(net.controllers) == 12
+    assert result.extras["n_vehicles"] == 50
+    assert result.throughput_mbps > 10.0
+    counters = net.resilience_counters()
+    assert counters["invariant_checks"] > 10_000
+    net.invariants.assert_ok()

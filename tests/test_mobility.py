@@ -5,11 +5,13 @@ import pytest
 from repro.mobility.scenarios import following, opposing, parallel
 from repro.mobility.trajectory import (
     DEFAULT_AP_SPACING_M,
+    DEFAULT_SPAN_M,
     FAR_LANE_Y_M,
     NEAR_LANE_Y_M,
     LinearTrajectory,
     RoadLayout,
     StationaryTrajectory,
+    WaypointTrajectory,
     mph_to_mps,
 )
 
@@ -113,3 +115,67 @@ class TestScenarios:
         a, b = opposing(RoadLayout())
         assert a.speed_signed_mps > 0 > b.speed_signed_mps
         assert a.lane_y != b.lane_y
+
+
+class TestWaypointTrajectory:
+    def test_requires_waypoints_and_positive_speed(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([], speed_mps=5.0)
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0.0, 0.0, 1.5)], speed_mps=0.0)
+
+    def test_single_waypoint_is_zero_length(self):
+        traj = WaypointTrajectory([(3.0, 4.0, 1.5)], speed_mps=5.0)
+        assert traj.total_duration_s == 0.0
+        assert traj.position(-1.0) == (3.0, 4.0, 1.5)
+        assert traj.position(100.0) == (3.0, 4.0, 1.5)
+        assert traj.heading_at(0.0) == (0.0, 0.0)
+
+    def test_queries_clamp_outside_the_schedule(self):
+        traj = WaypointTrajectory(
+            [(0.0, 0.0, 1.5), (10.0, 0.0, 1.5)], speed_mps=5.0,
+            start_time=2.0,
+        )
+        assert traj.position(0.0) == (0.0, 0.0, 1.5)   # before departure
+        assert traj.end_time == pytest.approx(4.0)
+        assert traj.position(99.0) == (10.0, 0.0, 1.5)  # parked at the end
+        assert traj.heading_at(99.0) == (0.0, 0.0)
+
+    def test_interpolation_exactly_at_a_vertex(self):
+        traj = WaypointTrajectory(
+            [(0.0, 0.0, 1.5), (10.0, 0.0, 1.5), (10.0, 10.0, 1.5)],
+            speed_mps=5.0,
+        )
+        # t=2.0 is exactly the corner: position is the vertex itself and
+        # the heading already points down the second leg.
+        assert traj.position(2.0) == pytest.approx((10.0, 0.0, 1.5))
+        assert traj.heading_at(2.0) == pytest.approx((0.0, 1.0))
+        assert traj.arrival_times() == pytest.approx([0.0, 2.0, 4.0])
+
+    def test_zero_length_legs_are_skipped(self):
+        traj = WaypointTrajectory(
+            [(0.0, 0.0, 1.5), (10.0, 0.0, 1.5), (10.0, 0.0, 1.5),
+             (20.0, 0.0, 1.5)],
+            speed_mps=5.0,
+        )
+        assert traj.total_duration_s == pytest.approx(4.0)
+        assert traj.position(3.0) == pytest.approx((15.0, 0.0, 1.5))
+
+    def test_midleg_interpolation_matches_speed(self):
+        traj = WaypointTrajectory(
+            [(0.0, 0.0, 1.5), (0.0, 30.0, 1.5)], speed_mps=6.0,
+        )
+        x, y, _z = traj.position(2.5)
+        assert (x, y) == pytest.approx((0.0, 15.0))
+        assert traj.heading_at(2.5) == pytest.approx((0.0, 1.0))
+
+
+class TestStationaryTrajectory:
+    def test_parked_client_never_moves(self):
+        traj = StationaryTrajectory((1.0, 2.0, 1.5))
+        assert traj.speed_mps == 0.0
+        assert traj.position(0.0) == traj.position(1e6) == (1.0, 2.0, 1.5)
+
+
+def test_default_span_constant_matches_layout():
+    assert DEFAULT_SPAN_M == pytest.approx(RoadLayout().span_m)

@@ -89,3 +89,44 @@ def test_from_env_honours_disable_and_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
     cache = ResultCache.from_env()
     assert cache.root == tmp_path / "alt"
+
+
+def test_pre_city_schema_entries_miss_cleanly(tmp_path):
+    """Schema 4 (city fields) must not resurrect schema-3 entries.
+
+    Two layers of protection: the schema version is folded into the key
+    salt (old entries are simply not found), and even a record forced
+    into the current key slot with a legacy field the dataclass no
+    longer knows is treated as a corrupt miss and removed.
+    """
+    job = JobSpec(seed=11)
+    old = ResultCache(root=tmp_path, salt="repro-0.0-schema3")
+    old.put(job, _summary(job))
+    current = ResultCache(root=tmp_path)
+    assert "schema3" not in default_code_salt()
+    assert current.get(job) is None  # different salt, different path
+
+    # Forge an old-shape record under the *current* key: from_dict must
+    # reject the unknown field, and get() turns that into a clean miss.
+    path = current.path_for(job)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = json.loads(old.path_for(job).read_text())
+    record["summary"]["legacy_field_removed_in_schema4"] = 1
+    path.write_text(json.dumps(record))
+    assert current.get(job) is None
+    assert not path.exists()  # healed: a later put can rewrite it
+
+
+def test_city_summary_fields_roundtrip(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    job = JobSpec(seed=12, city='{"cols":2,"rows":2}')
+    summary = _summary(job)
+    summary.n_vehicles = 5
+    summary.n_segments = 4
+    summary.per_segment_mbps = {0: 3.5, 2: 1.25}
+    cache.put(job, summary)
+    got = cache.get(job)
+    assert got.n_vehicles == 5
+    assert got.n_segments == 4
+    # JSON stringifies the int keys; from_dict restores them.
+    assert got.per_segment_mbps == {0: 3.5, 2: 1.25}

@@ -94,3 +94,44 @@ def test_replicates_derive_seeds_independent_of_execution_order():
     wgtt_seeds = {j.seed for j in jobs if j.mode == "wgtt"}
     base_seeds = {j.seed for j in jobs if j.mode == "baseline"}
     assert wgtt_seeds.isdisjoint(base_seeds)
+
+
+class TestCityAxis:
+    def test_city_is_canonicalised(self):
+        from repro.city import CityConfig
+
+        a = JobSpec(city=CityConfig(rows=2, cols=3))
+        b = JobSpec(city={"rows": 2, "cols": 3})
+        c = JobSpec(city='{"cols":3,"rows":2}')
+        assert a.city == b.city == c.city
+        assert a == b == c
+
+    def test_city_key_component(self):
+        from repro.city import CityConfig
+
+        city = CityConfig(rows=2, cols=2)
+        job = JobSpec(city=city)
+        assert f"city={city.key_hash()}" in job.key()
+        assert JobSpec().key() == job.key().replace(
+            f":city={city.key_hash()}", ""
+        )
+
+    def test_city_run_kwargs_drop_road_overrides(self):
+        job = JobSpec(city='{"cols":2,"rows":2}', n_aps=4)
+        kwargs = job.run_kwargs()
+        assert kwargs["city"] == job.city
+        assert "road" not in kwargs
+
+    def test_city_requires_wgtt_mode(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            JobSpec(mode="baseline", city='{"cols":2,"rows":2}')
+
+    def test_sweep_city_applies_to_every_job(self):
+        spec = SweepSpec(modes=("wgtt",), speeds_mph=(15.0,),
+                         seeds=(0, 1), city={"rows": 2, "cols": 2})
+        jobs = spec.expand()
+        assert len(jobs) == 2
+        assert len({j.city for j in jobs}) == 1
+        assert jobs[0].city is not None
