@@ -376,9 +376,12 @@ class WgttAp(BaseAp):
         self.ha = ha
         self._hb_last = self.sim.now
         if ha.ap_degraded:
-            self._ha_task = self.sim.call_every(
-                ha.degraded_eval_interval_s, self._ha_tick
-            )
+            # All APs share one degraded-mode cadence: a PeriodicGroup
+            # puts a single event on the heap per tick instead of one
+            # per AP (they all use the same config interval).
+            self._ha_task = self.sim.periodic_group(
+                ha.degraded_eval_interval_s, key="ha.ap_degraded"
+            ).add(self._ha_tick)
 
     def _ha_tick(self) -> None:
         if not self.alive or self.ha is None:

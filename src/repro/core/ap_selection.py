@@ -61,6 +61,11 @@ class EsnrWindow:
         self.purge(now)
         return [e for (_t, e) in self._readings]
 
+    def has_reading(self, now: float) -> bool:
+        """True when any reading survives the purge (no list is built)."""
+        self.purge(now)
+        return bool(self._readings)
+
     def median(self, now: float) -> Optional[float]:
         values = self.values(now)
         if not values:
@@ -146,7 +151,7 @@ class ApSelector:
         return [
             ap_id
             for ap_id, window in self._windows.items()
-            if window.values(now)
+            if window.has_reading(now)
         ]
 
     def best_ap(self, now: float) -> Optional[int]:

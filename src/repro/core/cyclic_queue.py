@@ -28,6 +28,13 @@ __all__ = ["CyclicQueue", "INDEX_BITS", "INDEX_MODULO", "ring_distance"]
 INDEX_BITS = 12
 INDEX_MODULO = 1 << INDEX_BITS
 
+#: Pending-queue entries pack (ring index, packet uid) into one machine
+#: int -- ``idx << _UID_BITS | uid`` -- so the hot writer path appends a
+#: small int instead of allocating a tuple per packet.  48 uid bits is
+#: unreachable in practice (one uid per simulated packet).
+_UID_BITS = 48
+_UID_MASK = (1 << _UID_BITS) - 1
+
 
 def ring_distance(a: int, b: int) -> int:
     """Forward distance from index ``a`` to index ``b`` on the ring."""
@@ -50,7 +57,8 @@ class CyclicQueue:
             raise ValueError(f"ring size must be in (0, {INDEX_MODULO}], got {size}")
         self._size = size
         self._slots: List[Optional[Packet]] = [None] * size
-        #: Indices with a live packet, in insertion (== controller) order.
+        #: Packed (index, uid) entries with a live packet, in insertion
+        #: (== controller) order.
         self._pending: Deque[int] = deque()
         self._newest_index = 0
         self.inserted = 0
@@ -71,7 +79,7 @@ class CyclicQueue:
         """
         self._drop_stale_head()
         if self._pending:
-            return self._pending[0][0]
+            return self._pending[0] >> _UID_BITS
         if self.inserted:
             return (self._newest_index + 1) % INDEX_MODULO
         return 0
@@ -102,7 +110,7 @@ class CyclicQueue:
         if self._slots[slot] is not None:
             self.overwritten += 1
         self._slots[slot] = packet
-        self._pending.append((idx, packet.uid))
+        self._pending.append((idx << _UID_BITS) | (packet.uid & _UID_MASK))
         self._newest_index = idx
         self.inserted += 1
         # Bound the pending list: anything a full ring behind has been
@@ -126,7 +134,7 @@ class CyclicQueue:
         entries = list(self._pending)
         keep_from = len(entries)
         for pos in range(len(entries) - 1, -1, -1):
-            idx, _uid = entries[pos]
+            idx = entries[pos] >> _UID_BITS
             if ring_distance(k, idx) < INDEX_MODULO // 2:
                 keep_from = pos
             else:
@@ -135,19 +143,20 @@ class CyclicQueue:
             self._discard_head()
 
     def _discard_head(self) -> None:
-        head_idx, head_uid = self._pending.popleft()
+        entry = self._pending.popleft()
+        head_idx, head_uid = entry >> _UID_BITS, entry & _UID_MASK
         slot = head_idx % self._size
         packet = self._slots[slot]
-        if packet is not None and packet.uid == head_uid:
+        if packet is not None and (packet.uid & _UID_MASK) == head_uid:
             self._slots[slot] = None
         self.skipped += 1
 
     def _drop_stale_head(self) -> None:
         """Drop pending entries whose slot was overwritten by a newer insert."""
         while self._pending:
-            head_idx, head_uid = self._pending[0]
-            packet = self._slots[head_idx % self._size]
-            if packet is not None and packet.uid == head_uid:
+            entry = self._pending[0]
+            packet = self._slots[(entry >> _UID_BITS) % self._size]
+            if packet is not None and (packet.uid & _UID_MASK) == entry & _UID_MASK:
                 return
             self._pending.popleft()
             self.skipped += 1
@@ -157,14 +166,14 @@ class CyclicQueue:
         self._drop_stale_head()
         if not self._pending:
             return None
-        return self._slots[self._pending[0][0] % self._size]
+        return self._slots[(self._pending[0] >> _UID_BITS) % self._size]
 
     def pop_next(self) -> Optional[Packet]:
         """Consume the next pending packet (insertion order)."""
         packet = self.peek()
         if packet is None:
             return None
-        head_idx, _uid = self._pending.popleft()
+        head_idx = self._pending.popleft() >> _UID_BITS
         self._slots[head_idx % self._size] = None
         self.consumed += 1
         return packet
@@ -175,7 +184,8 @@ class CyclicQueue:
         self._drop_stale_head()
         count = 0
         k = index % INDEX_MODULO
-        for idx, _uid in self._pending:
+        for entry in self._pending:
+            idx = entry >> _UID_BITS
             if idx == k or ring_distance(k, idx) <= INDEX_MODULO // 2:
                 count += 1
                 if count >= limit:

@@ -234,9 +234,9 @@ class StandbyController(WgttController):
     def enable_ha(self, ha, standby_id: Optional[int] = None) -> None:
         super().enable_ha(ha, standby_id=standby_id)
         self._last_primary_beat = self.sim.now
-        self._watchdog = self.sim.call_every(
-            ha.heartbeat_interval_s, self._watch_primary
-        )
+        self._watchdog = self.sim.periodic_group(
+            ha.heartbeat_interval_s, key="ha.heartbeat"
+        ).add(self._watch_primary)
 
     def _watch_primary(self) -> None:
         if not self.alive or self.is_active:

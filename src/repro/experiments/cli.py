@@ -105,6 +105,26 @@ def _load_ha(arg: Optional[str]):
         raise SystemExit(f"--ha: {exc}")
 
 
+def _dump_profile(profiler, path: str) -> None:
+    """Write cProfile stats to ``path`` plus a human-readable sidecar.
+
+    The binary dump loads with ``python -m pstats PATH`` (or
+    ``pstats.Stats(PATH)``); ``PATH.txt`` carries the top of the
+    cumulative- and internal-time rankings for quick inspection.
+    """
+    import io
+    import pstats
+
+    profiler.dump_stats(path)
+    text = io.StringIO()
+    stats = pstats.Stats(profiler, stream=text)
+    stats.sort_stats("cumulative").print_stats(30)
+    stats.sort_stats("tottime").print_stats(30)
+    with open(path + ".txt", "w") as fh:
+        fh.write(text.getvalue())
+    print(f"profile        : wrote {path} (pstats) and {path}.txt")
+
+
 def cmd_drive(args: argparse.Namespace) -> int:
     scenario = _load_fault_scenario(args.fault_scenario)
     policy = _load_policy(args.policy)
@@ -125,18 +145,31 @@ def cmd_drive(args: argparse.Namespace) -> int:
         extra["duration_s"] = args.duration
     if args.profile:
         PERF.reset()
+    profiler = None
+    if args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
     from time import perf_counter
 
     wall_t0 = perf_counter()
-    result = run_single_drive(
-        mode=args.mode,
-        speed_mph=args.speed,
-        traffic=args.traffic,
-        udp_rate_mbps=args.udp_rate,
-        seed=args.seed,
-        **extra,
-    )
+    if profiler is not None:
+        profiler.enable()
+    try:
+        result = run_single_drive(
+            mode=args.mode,
+            speed_mph=args.speed,
+            traffic=args.traffic,
+            udp_rate_mbps=args.udp_rate,
+            seed=args.seed,
+            **extra,
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
     wall_clock_s = perf_counter() - wall_t0
+    if profiler is not None:
+        _dump_profile(profiler, args.profile_out)
     if city is not None:
         t0, t1 = result.measure_t0, result.measure_t1
     elif args.speed > 0:
@@ -329,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--profile", action="store_true",
                        help="print PHY fast-path counters, cache hit rates, "
                             "and events/sec after the drive")
+    drive.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="run the drive under cProfile and dump pstats "
+                            "to PATH (plus a PATH.txt text summary); "
+                            "usable with or without --profile")
     drive.add_argument("--ha", nargs="?", const="", default=None,
                        metavar="JSON",
                        help="arm controller HA: bare flag for the default "

@@ -68,7 +68,10 @@ def ampdu_airtime_s(
     bytes.  Duration = HT preamble + data bits rounded up to whole OFDM
     symbols.
     """
-    total_bits = sum(8 * mpdu_wire_bytes(b) for b in mpdu_payload_bytes)
+    total_bits = 0
+    for b in mpdu_payload_bytes:
+        total_bits += b + MPDU_OVERHEAD_BYTES
+    total_bits *= 8
     if total_bits == 0:
         raise ValueError("cannot compute airtime of an empty A-MPDU")
     bits_per_symbol = mcs.phy_rate_mbps * timing.symbol_s * 1e6

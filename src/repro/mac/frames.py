@@ -17,7 +17,7 @@ SEQ_MODULO = 4096
 _frame_uid = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Mpdu:
     """One MAC protocol data unit inside an aggregate.
 
@@ -34,7 +34,7 @@ class Mpdu:
         return self.packet.size_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class Ampdu:
     """An aggregated frame: the unit of medium access for data.
 
@@ -65,7 +65,7 @@ class Ampdu:
         return [m.seq for m in self.mpdus]
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockAck:
     """Compressed block ACK: a start sequence + 64-bit bitmap.
 
@@ -82,11 +82,16 @@ class BlockAck:
 
     @property
     def acked(self) -> List[int]:
-        return [
-            (self.start_seq + i) % SEQ_MODULO
-            for i in range(64)
-            if self.bitmap & (1 << i)
-        ]
+        # Iterate set bits only (ascending, same order as the historical
+        # 0..63 scan) instead of probing all 64 positions.
+        out = []
+        bitmap = self.bitmap & (1 << 64) - 1
+        start_seq = self.start_seq
+        while bitmap:
+            low = bitmap & -bitmap
+            out.append((start_seq + low.bit_length() - 1) % SEQ_MODULO)
+            bitmap ^= low
+        return out
 
     @classmethod
     def for_seqs(cls, src: int, dst: int, seqs: List[int], start_seq: int) -> "BlockAck":
@@ -103,7 +108,7 @@ class BlockAck:
         return cls(src=src, dst=dst, start_seq=start_seq, bitmap=bitmap)
 
 
-@dataclass
+@dataclass(slots=True)
 class MgmtFrame:
     """Management frame: (re)association, probe, null-data keepalive."""
 
@@ -114,7 +119,7 @@ class MgmtFrame:
     uid: int = field(default_factory=lambda: next(_frame_uid))
 
 
-@dataclass
+@dataclass(slots=True)
 class Beacon:
     """Periodic beacon announcing an AP (or the shared WGTT BSSID)."""
 

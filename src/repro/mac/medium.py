@@ -71,7 +71,7 @@ class MediumParams:
     rx_processing_s: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One frame on the air."""
 
@@ -233,9 +233,13 @@ class Medium:
         now = self.sim.now
         busy = self.busy_until(radio, now)
         if busy > now + 1e-12:
-            # Defer: come back when the channel frees up.
-            self._pending_access[radio.node_id] = self.sim.schedule_at(
-                busy + 1e-9, self._attempt, radio
+            # Defer: come back when the channel frees up.  Every station
+            # parked behind the same NAV edge wakes at the same instant, so
+            # the whole contention round is coalesced into one heap event;
+            # stations re-attempt (and draw backoff) in the order they
+            # deferred, exactly as N separate wake-ups would have.
+            self._pending_access[radio.node_id] = self.sim.schedule_batch_at(
+                busy + 1e-9, self._attempt, radio, key=self
             )
             return
         cw = self._retry_cw.get(radio.node_id, self.timing.cw_min)
@@ -365,25 +369,35 @@ class Medium:
         return False
 
     def _candidate_receivers(self, tx: Transmission) -> List[object]:
+        # The frame's type is fixed across the scan, so branch on it once
+        # and run a type-specialised loop (same membership, same order).
         frame = tx.frame
+        tx_radio = tx.radio
+        same_channel = self._same_channel
         out = []
-        for radio in self._receiver_candidates(tx):
-            if radio is tx.radio:
-                continue
-            if not self._same_channel(tx.radio, radio):
-                continue  # a receiver tuned elsewhere hears nothing
-            if isinstance(frame, Beacon):
-                if not radio.is_ap:
+        if isinstance(frame, Beacon):
+            for radio in self._receiver_candidates(tx):
+                if radio is tx_radio or radio.is_ap:
+                    continue
+                if same_channel(tx_radio, radio):
                     out.append(radio)
-            elif isinstance(frame, MgmtFrame):
-                # Management frames are processed by any station that can
-                # decode them (the baseline forwards overheard assoc frames).
-                out.append(radio)
-            else:
-                dst = frame.dst
+        elif isinstance(frame, MgmtFrame):
+            # Management frames are processed by any station that can
+            # decode them (the baseline forwards overheard assoc frames).
+            for radio in self._receiver_candidates(tx):
+                if radio is not tx_radio and same_channel(tx_radio, radio):
+                    out.append(radio)
+        else:
+            dst = frame.dst
+            from_client = not tx_radio.is_ap
+            for radio in self._receiver_candidates(tx):
+                if radio is tx_radio:
+                    continue
+                if not same_channel(tx_radio, radio):
+                    continue  # a receiver tuned elsewhere hears nothing
                 if dst == radio.node_id or dst == getattr(radio, "bssid", None):
                     out.append(radio)
-                elif getattr(radio, "monitor", False) and not tx.radio.is_ap:
+                elif from_client and getattr(radio, "monitor", False):
                     # Monitor interfaces only care about client-originated
                     # frames (uplink data and the client's block ACKs).
                     out.append(radio)
@@ -392,36 +406,53 @@ class Medium:
     def _complete(self, tx: Transmission, mcs: Optional[McsEntry]) -> None:
         t = self.sim.now
         frame = tx.frame
+        tx_id = tx.radio.node_id
+        floor = self.params.decode_floor_db
+        rng_random = self.rng.random
+        link_between = self.link_between
+        is_ampdu = isinstance(frame, Ampdu)
+        if is_ampdu:
+            # All PHY quantities of a data frame are sampled at the frame
+            # midpoint: the floor cull, the capture check, and the ESNR the
+            # per-MPDU Bernoulli draws use.  One instant per frame means the
+            # link memo serves every nested lookup after the first.
+            sample_t = tx.t_start + (tx.data_end - tx.t_start) / 2.0
+            mpdu_sizes = [(m.seq, m.payload_bytes) for m in frame.mpdus]
+        else:
+            # Control/management frames sample at the preamble (t_start),
+            # where detection physically happens; the RSSI proxy below
+            # already did, so floor + capture + quality share one memo key.
+            sample_t = tx.t_start
+            ctrl_bytes = BLOCK_ACK_BYTES if isinstance(frame, BlockAck) else MGMT_BYTES
         for radio in self._candidate_receivers(tx):
-            pair = self.link_between(tx.radio.node_id, radio.node_id)
+            pair = link_between(tx_id, radio.node_id)
             if pair is None:
                 # Infra-infra/client-client: only mgmt matters and only at
                 # extreme proximity; skip (backhaul carries infra traffic).
                 continue
             link, uplink = pair
-            if link.mean_snr_db(t, uplink=uplink) < self.params.decode_floor_db:
+            if link.mean_snr_db(sample_t, uplink=uplink) < floor:
                 continue
-            if not self._captured(tx, radio, t):
-                if isinstance(frame, Ampdu):
-                    radio.on_frame(frame, tx.radio.node_id, {s: False for s in frame.seqs()}, t)
+            if not self._captured(tx, radio, sample_t):
+                if is_ampdu:
+                    radio.on_frame(frame, tx_id, {s: False for s in frame.seqs()}, t)
                 continue
-            if isinstance(frame, Ampdu):
-                assert mcs is not None
-                mid = tx.t_start + (tx.data_end - tx.t_start) / 2.0
-                esnr = link.esnr_db(mid, uplink=uplink)
+            if is_ampdu:
+                esnr = link.esnr_db(sample_t, uplink=uplink)
                 outcomes = {}
-                for mpdu in frame.mpdus:
-                    p = pdr(esnr, mcs, n_bytes=mpdu.payload_bytes)
-                    outcomes[mpdu.seq] = bool(self.rng.random() < p)
-                radio.on_frame(frame, tx.radio.node_id, outcomes, t)
+                pdr_by_size: Dict[int, float] = {}
+                for seq, n_bytes in mpdu_sizes:
+                    p = pdr_by_size.get(n_bytes)
+                    if p is None:
+                        p = pdr(esnr, mcs, n_bytes=n_bytes)
+                        pdr_by_size[n_bytes] = p
+                    outcomes[seq] = bool(rng_random() < p)
+                radio.on_frame(frame, tx_id, outcomes, t)
             else:
-                # Control/management: short, robust, legacy-rate frames.
                 # The wideband RSSI proxy (flat fading gain) is accurate
                 # enough here and far cheaper than a full ESNR evaluation.
-                quality = link.rssi_db(tx.t_start, uplink=uplink)
-                n_bytes = BLOCK_ACK_BYTES if isinstance(frame, BlockAck) else MGMT_BYTES
-                ok = self.rng.random() < pdr(quality, CTRL_MCS, n_bytes=n_bytes)
+                quality = link.rssi_db(sample_t, uplink=uplink)
+                ok = rng_random() < pdr(quality, CTRL_MCS, n_bytes=ctrl_bytes)
                 if ok:
-                    radio.on_frame(frame, tx.radio.node_id, True, t)
-        radio_done = tx.radio
-        radio_done.on_transmission_complete(tx)
+                    radio.on_frame(frame, tx_id, True, t)
+        tx.radio.on_transmission_complete(tx)

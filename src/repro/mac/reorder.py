@@ -48,23 +48,32 @@ class RxReorderBuffer:
 
     def on_mpdu(self, seq: int, payload: Any) -> None:
         """Accept one decoded MPDU."""
-        if self._next_seq is None:
-            self._next_seq = seq
-        behind = seq_distance(seq, self._next_seq)
+        nxt = self._next_seq
+        if seq == nxt or nxt is None:
+            # Fast path: strictly in-order arrival (the overwhelmingly
+            # common case on a healthy link) releases immediately.
+            if nxt is None:
+                self._next_seq = seq
+            self.deliver(payload)
+            self.delivered += 1
+            self._next_seq = (self._next_seq + 1) % SEQ_MODULO
+            if self._buffer:
+                self._flush_consecutive()
+            elif self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        behind = seq_distance(seq, nxt)
         if 0 < behind <= _HALF_SPACE:
             # At or before the window start: duplicate of something already
             # released (a link-layer retry we have already seen).
             self.duplicates += 1
             return
-        if seq == self._next_seq:
-            self._release(payload)
-            self._flush_consecutive()
-        else:
-            if seq in self._buffer:
-                self.duplicates += 1
-                return
-            self._buffer[seq] = payload
-            self._arm_timer()
+        if seq in self._buffer:
+            self.duplicates += 1
+            return
+        self._buffer[seq] = payload
+        self._arm_timer()
 
     # ------------------------------------------------------------- internals
     def _release(self, payload: Any) -> None:

@@ -107,41 +107,50 @@ class Backhaul:
         dead or unregistered nodes become traced drops, because
         infrastructure failure is exactly what is being injected.
         """
-        if self.fault_overlay is None and dst not in self._endpoints:
+        endpoints = self._endpoints
+        overlay = self.fault_overlay
+        if overlay is None and dst not in endpoints:
             raise KeyError(f"node {dst} is not on the backhaul")
+        params = self.params
+        size_bytes = packet.size_bytes
         self.packets_sent += 1
-        self.bytes_sent += packet.size_bytes
+        self.bytes_sent += size_bytes
         fault_latency = 0.0
-        if self.fault_overlay is not None:
-            verdict = self.fault_overlay.on_send(
+        if overlay is not None:
+            verdict = overlay.on_send(
                 src, dst, packet, self.sim.now,
-                dst_registered=dst in self._endpoints,
+                dst_registered=dst in endpoints,
             )
             if verdict.drop:
                 self.packets_lost += 1
                 self.fault_dropped += 1
                 return
             fault_latency = verdict.extra_latency_s
-        if self.params.loss_probability > 0.0 and (
-            self.rng.random() < self.params.loss_probability
+        if params.loss_probability > 0.0 and (
+            self.rng.random() < params.loss_probability
         ):
             self.packets_lost += 1
             return
+        if params.link_jitter_s <= 0.0:
+            link_offset = 0.0  # inline of _link_offset's knob-off branch
+        else:
+            link_offset = self._link_offset(src, dst)
         latency = (
-            self.params.base_latency_s
-            + float(self.rng.uniform(0.0, self.params.jitter_s))
-            + self._link_offset(src, dst)
+            params.base_latency_s
+            + float(self.rng.uniform(0.0, params.jitter_s))
+            + link_offset
             + fault_latency
-            + packet.size_bytes * 8.0 / self.params.bandwidth_bps
+            + size_bytes * 8.0 / params.bandwidth_bps
         )
-        deliver_at = self.sim.now + latency
+        sim = self.sim
+        deliver_at = sim.now + latency
         key = (src, dst)
-        previous = self._last_delivery.get(key, -1.0)
+        last_delivery = self._last_delivery
+        previous = last_delivery.get(key, -1.0)
         if deliver_at <= previous:
             deliver_at = previous + 1e-9  # FIFO per pair: no reordering
-        self._last_delivery[key] = deliver_at
-        receive = self._endpoints[dst]
-        self.sim.schedule_at(deliver_at, receive, packet, src)
+        last_delivery[key] = deliver_at
+        sim.schedule_at(deliver_at, endpoints[dst], packet, src)
 
     def broadcast(self, src: int, packet_factory: Callable[[], Packet]) -> None:
         """Send a fresh copy of a packet to every other endpoint.

@@ -24,7 +24,7 @@ _ip_id_counter = itertools.count(1)
 _packet_uid = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated packet.
 
@@ -79,6 +79,30 @@ class Packet:
         self.tunnel.append((outer_src, outer_dst))
         self.size_bytes += TUNNEL_HEADER_BYTES
         return self
+
+    def tunnel_clone(self, outer_src: int, outer_dst: int) -> "Packet":
+        """A copy of this packet encapsulated for one backhaul hop.
+
+        Fan-out fast path for the controller's multicast-to-candidate-APs
+        delivery: equivalent to ``copy.copy`` + a fresh single-layer
+        tunnel, but without the generic reduce/reconstruct machinery.
+        The clone shares ``payload`` and keeps ``uid``/``ip_id`` (it *is*
+        the same IP datagram -- de-duplication relies on that).
+        """
+        new = object.__new__(Packet)
+        new.size_bytes = self.size_bytes + TUNNEL_HEADER_BYTES
+        new.src = self.src
+        new.dst = self.dst
+        new.protocol = self.protocol
+        new.flow_id = self.flow_id
+        new.seq = self.seq
+        new.created_at = self.created_at
+        new.ip_id = self.ip_id
+        new.uid = self.uid
+        new.payload = self.payload
+        new.tunnel = [(outer_src, outer_dst)]
+        new.wgtt_index = self.wgtt_index
+        return new
 
     def decapsulate(self) -> Tuple[int, int]:
         """Strip the outermost tunnel layer, returning (outer_src, outer_dst)."""

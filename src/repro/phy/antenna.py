@@ -83,6 +83,11 @@ class ParabolicAntenna:
         self.beamwidth_deg = beamwidth_deg
         self.sidelobe_down_db = sidelobe_down_db
         self.boresight = _normalize(boresight)
+        # What angle_between_deg would compute per call: the stored (unit)
+        # boresight normalised once more.  Precomputing it keeps the hot
+        # gain_towards path to one sqrt while reproducing the historical
+        # float results exactly (renormalising can shift the last ulp).
+        self._boresight_unit = _normalize(self.boresight)
 
     def gain_db(self, off_boresight_deg: float) -> float:
         """Gain in dBi at ``off_boresight_deg`` degrees off the main axis."""
@@ -94,12 +99,22 @@ class ParabolicAntenna:
 
     def gain_towards(self, from_pos: Vec3, to_pos: Vec3) -> float:
         """Gain in dBi from the antenna at ``from_pos`` towards ``to_pos``."""
-        direction = (
-            to_pos[0] - from_pos[0],
-            to_pos[1] - from_pos[1],
-            to_pos[2] - from_pos[2],
-        )
-        theta = angle_between_deg(direction, self.boresight)
+        # Inlined angle_between_deg(direction, self.boresight) with the
+        # boresight's renormalisation hoisted to __init__ -- identical
+        # arithmetic, one normalisation per call instead of two.
+        dx = to_pos[0] - from_pos[0]
+        dy = to_pos[1] - from_pos[1]
+        dz = to_pos[2] - from_pos[2]
+        norm = math.sqrt(dx ** 2 + dy ** 2 + dz ** 2)
+        if norm == 0.0:
+            raise ValueError("zero-length direction vector")
+        bx, by, bz = self._boresight_unit
+        dot = (dx / norm) * bx + (dy / norm) * by + (dz / norm) * bz
+        if dot > 1.0:
+            dot = 1.0
+        elif dot < -1.0:
+            dot = -1.0
+        theta = math.degrees(math.acos(dot))
         return self.gain_db(theta)
 
     @classmethod

@@ -189,6 +189,22 @@ class TappedDelayChannel:
         self._los_phases = np.array([tap._los_phase for tap in self.taps])
         self._los_idx = np.flatnonzero(self._los_amps > 0.0)
         self._delays_s = np.asarray(tap_delays_ns, dtype=float) * 1e-9
+        # Hot-path scratch: reused per tap_gains call so the (n_taps,
+        # n_sinusoids) temporaries are allocated once, not per event.
+        self._angle_buf = np.empty_like(self._omegas)
+        self._trig_buf = np.empty_like(self._omegas)
+        # With exactly one LoS tap (the common Rician-first-tap setup)
+        # the per-call fancy indexing collapses to scalar arithmetic.
+        if self._los_idx.size == 1:
+            i0 = int(self._los_idx[0])
+            self._los_one = (
+                i0,
+                float(self._los_amps[i0]),
+                float(self._los_omegas[i0]),
+                float(self._los_phases[i0]),
+            )
+        else:
+            self._los_one = None
         if subcarrier_freqs_hz is None:
             subcarrier_freqs_hz = ht20_subcarrier_freqs()
         self.subcarrier_freqs_hz = subcarrier_freqs_hz
@@ -203,15 +219,31 @@ class TappedDelayChannel:
     def tap_gains(self, t: float) -> np.ndarray:
         """Complex gain of every tap at time ``t``."""
         PERF.count("phy.tap_eval_points")
-        angles = self._omegas * t + self._phases
-        gains = np.empty(len(self.taps), dtype=complex)
-        gains.real = self._amps * np.sum(np.cos(angles), axis=1)
-        gains.imag = self._amps * np.sum(np.sin(angles), axis=1)
-        idx = self._los_idx
-        if idx.size:
-            los_angles = self._los_omegas[idx] * t + self._los_phases[idx]
-            gains.real[idx] += self._los_amps[idx] * np.cos(los_angles)
-            gains.imag[idx] += self._los_amps[idx] * np.sin(los_angles)
+        # ufuncs write into preallocated scratch; same operations in the
+        # same order as the allocating form, so results are bit-identical.
+        angles = self._angle_buf
+        np.multiply(self._omegas, t, out=angles)
+        angles += self._phases
+        trig = self._trig_buf
+        gains = np.empty(len(self._amps), dtype=complex)
+        # ndarray.sum is the same ufunc reduction as np.sum minus the
+        # dispatch wrapper (bit-identical result, hot-path win).
+        np.cos(angles, out=trig)
+        gains.real = self._amps * trig.sum(axis=1)
+        np.sin(angles, out=trig)
+        gains.imag = self._amps * trig.sum(axis=1)
+        los_one = self._los_one
+        if los_one is not None:
+            i0, amp, omega, phase = los_one
+            ang = omega * t + phase
+            gains.real[i0] += amp * np.cos(ang)
+            gains.imag[i0] += amp * np.sin(ang)
+        else:
+            idx = self._los_idx
+            if idx.size:
+                los_angles = self._los_omegas[idx] * t + self._los_phases[idx]
+                gains.real[idx] += self._los_amps[idx] * np.cos(los_angles)
+                gains.imag[idx] += self._los_amps[idx] * np.sin(los_angles)
         return gains
 
     def tap_gains_at(self, ts) -> np.ndarray:
@@ -255,7 +287,7 @@ class TappedDelayChannel:
 
     def flat_gain(self, t: float) -> complex:
         """Wideband (frequency-flat) gain: the tap sum without dispersion."""
-        return complex(np.sum(self.tap_gains(t)))
+        return complex(self.tap_gains(t).sum())
 
     def flat_gains_at(self, ts) -> np.ndarray:
         """Wideband gains at a batch of timestamps: shape (len(ts),)."""

@@ -15,7 +15,7 @@ from typing import Any, Deque, Dict, Iterator, List, Optional
 __all__ = ["TraceRecord", "TraceRecorder"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped event emitted by a simulation component.
 

@@ -335,7 +335,7 @@ class TcpReceiver:
             self.rcv_nxt = end
             advanced = True
             # Merge any out-of-order runs now contiguous.
-            while True:
+            while self._ooo:
                 nxt = [s for s in self._ooo if s <= self.rcv_nxt]
                 if not nxt:
                     break

@@ -1,0 +1,413 @@
+"""Tests for the batched hot-loop engine surface added by the perf PR:
+
+- ``schedule_batch`` / ``schedule_batch_at`` coalescing and accounting,
+- ``PeriodicGroup`` pooled cadences,
+- ``PeriodicTask`` edge cases (jitter+until, stop() inside the callback,
+  re-arming across externally advanced clocks),
+- the EventHandle freelist (no resurrection of caller-held handles),
+- O(1) ``pending_events`` and lazy heap purging under mass cancellation.
+"""
+
+import pytest
+
+from repro.sim.engine import (
+    SimulationError,
+    Simulator,
+)
+import repro.sim.engine as engine_mod
+
+
+# ---------------------------------------------------------------- batching
+
+
+def test_schedule_batch_coalesces_same_key_and_instant():
+    sim = Simulator()
+    fired = []
+    sim.schedule_batch(1.0, fired.append, "a", key="k")
+    sim.schedule_batch(1.0, fired.append, "b", key="k")
+    # One heap event carries both callbacks.
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 1.0
+
+
+def test_schedule_batch_counts_one_event_per_callback():
+    # Accounting must be identical whether or not the work was batched.
+    plain = Simulator()
+    for _ in range(5):
+        plain.schedule(1.0, lambda: None)
+    plain.run()
+
+    batched = Simulator()
+    for _ in range(5):
+        batched.schedule_batch(1.0, lambda: None, key="k")
+    batched.run()
+
+    assert plain.events_fired == batched.events_fired == 5
+
+
+def test_schedule_batch_different_keys_do_not_coalesce():
+    sim = Simulator()
+    sim.schedule_batch(1.0, lambda: None, key="k1")
+    sim.schedule_batch(1.0, lambda: None, key="k2")
+    assert sim.pending_events == 2
+
+
+def test_schedule_batch_different_instants_do_not_coalesce():
+    sim = Simulator()
+    sim.schedule_batch(1.0, lambda: None, key="k")
+    sim.schedule_batch(2.0, lambda: None, key="k")
+    assert sim.pending_events == 2
+
+
+def test_schedule_batch_at_coalesces_with_delay_form():
+    # schedule_batch(delay) delegates to schedule_batch_at(now + delay);
+    # at now == 0 the instants are float-identical and must share a batch.
+    sim = Simulator()
+    fired = []
+    sim.schedule_batch(0.25, fired.append, 1, key="k")
+    sim.schedule_batch_at(0.25, fired.append, 2, key="k")
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_batch_entry_cancel_removes_only_that_callback():
+    sim = Simulator()
+    fired = []
+    entry = sim.schedule_batch(1.0, fired.append, "a", key="k")
+    sim.schedule_batch(1.0, fired.append, "b", key="k")
+    entry.cancel()
+    entry.cancel()  # idempotent
+    assert not entry.pending
+    sim.run()
+    assert fired == ["b"]
+    assert sim.events_fired == 1
+
+
+def test_all_cancelled_batch_counts_zero_events():
+    sim = Simulator()
+    e1 = sim.schedule_batch(1.0, lambda: None, key="k")
+    e2 = sim.schedule_batch(1.0, lambda: None, key="k")
+    e1.cancel()
+    e2.cancel()
+    sim.run()
+    assert sim.events_fired == 0
+
+
+def test_batch_callbacks_fire_in_registration_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule_batch(0.5, order.append, i, key=None)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_batch_key_reusable_after_fire():
+    # Scheduling on the same (key, instant) after the batch fired must
+    # open a fresh batch, not resurrect the consumed one.
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule_batch_at(sim.now, fired.append, "second", key="k")
+
+    sim.schedule_batch_at(1.0, first, key="k")
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_schedule_batch_rejects_past_and_non_callable():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_batch_at(0.0, lambda: None)
+    with pytest.raises(TypeError):
+        sim.schedule_batch(1.0, "not callable")
+
+
+# ---------------------------------------------------------- periodic groups
+
+
+def test_periodic_group_one_heap_event_many_members():
+    sim = Simulator()
+    fired = []
+    group = sim.periodic_group(1.0, key="g")
+    for i in range(3):
+        group.add(fired.append, i)
+    assert sim.pending_events == 1  # one tick event regardless of members
+    sim.run(until=1.0)
+    assert fired == [0, 1, 2]
+
+
+def test_periodic_group_counts_one_event_per_member():
+    sim = Simulator()
+    group = sim.periodic_group(1.0)
+    for _ in range(4):
+        group.add(lambda: None)
+    sim.run(until=2.5)  # two ticks
+    assert sim.events_fired == 8
+
+
+def test_periodic_group_key_reuse_returns_same_group():
+    sim = Simulator()
+    g1 = sim.periodic_group(1.0, key="shared")
+    g2 = sim.periodic_group(1.0, key="shared")
+    assert g1 is g2
+    # A different interval under the same key is a different cadence.
+    g3 = sim.periodic_group(2.0, key="shared")
+    assert g3 is not g1
+
+
+def test_periodic_group_fresh_after_stop():
+    sim = Simulator()
+    g1 = sim.periodic_group(1.0, key="k")
+    g1.stop()
+    g2 = sim.periodic_group(1.0, key="k")
+    assert g2 is not g1
+    with pytest.raises(SimulationError):
+        g1.add(lambda: None)
+
+
+def test_periodic_group_member_stops_itself_mid_tick():
+    sim = Simulator()
+    fired = []
+    group = sim.periodic_group(1.0)
+    holder = {}
+
+    def once():
+        fired.append("once")
+        holder["member"].stop()
+
+    holder["member"] = group.add(once)
+    group.add(fired.append, "steady")
+    sim.run(until=2.5)
+    # The self-stopping member ran a single tick; the other kept going.
+    assert fired == ["once", "steady", "steady"]
+    assert group.size == 1
+
+
+def test_periodic_group_until_expires():
+    sim = Simulator()
+    fired = []
+    group = sim.periodic_group(1.0, key="u", until=2.5)
+    group.add(lambda: fired.append(sim.now))
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert group.stopped
+
+
+def test_periodic_group_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.periodic_group(0.0)
+    with pytest.raises(SimulationError):
+        sim.periodic_group(float("inf"))
+
+
+# ------------------------------------------------------- PeriodicTask edges
+
+
+class _FixedRng:
+    def __init__(self, value):
+        self.value = value
+        self.calls = 0
+
+    def uniform(self, lo, hi):
+        self.calls += 1
+        return self.value
+
+
+def test_periodic_task_jitter_combines_with_until():
+    sim = Simulator()
+    fired = []
+    rng = _FixedRng(0.4)
+    task = sim.call_every(1.0, lambda: fired.append(sim.now), jitter=0.5,
+                          rng=rng, until=2.0)
+    sim.run(until=10.0)
+    # First firing at 1.4; the re-arm would land at 2.8 > until, so the
+    # task stops after exactly one firing.
+    assert fired == [1.4]
+    assert task.stopped
+    assert rng.calls == 2  # one draw per arm attempt, including the last
+
+
+def test_periodic_task_jitter_without_rng_is_ignored():
+    sim = Simulator()
+    fired = []
+    sim.call_every(1.0, lambda: fired.append(sim.now), jitter=0.5)
+    sim.run(until=2.5)
+    assert fired == [1.0, 2.0]
+
+
+def test_periodic_task_stop_inside_own_callback():
+    sim = Simulator()
+    fired = []
+    holder = {}
+
+    def cb():
+        fired.append(sim.now)
+        holder["task"].stop()
+
+    holder["task"] = sim.call_every(1.0, cb)
+    sim.run(until=5.0)
+    assert fired == [1.0]
+    assert holder["task"].stopped
+    assert sim.pending_events == 0
+
+
+def test_periodic_task_rearms_across_externally_advanced_clock():
+    # run(until=...) advances the clock even when no event fires there;
+    # the task's cadence must stay anchored to its firing times.
+    sim = Simulator()
+    fired = []
+    sim.call_every(1.0, lambda: fired.append(sim.now))
+    sim.run(until=0.5)  # clock moves to 0.5 with no firing
+    assert fired == []
+    sim.run(until=3.5)
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_task_stop_before_first_fire():
+    sim = Simulator()
+    fired = []
+    task = sim.call_every(1.0, fired.append, "x")
+    task.stop()
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+# -------------------------------------------------------- handle freelist
+
+
+def test_caller_held_handle_is_never_recycled():
+    sim = Simulator()
+    held = sim.schedule(1.0, lambda: None)
+    sim.run()
+    # We still reference `held`, so the engine must not have pooled it.
+    assert all(f is not held for f in sim._free)
+    fresh = [sim.schedule(1.0, lambda: None) for _ in range(32)]
+    assert all(h is not held for h in fresh)
+
+
+def test_stale_cancel_after_fire_is_inert():
+    sim = Simulator()
+    held = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    pending_before = sim.pending_events
+    held.cancel()  # stale: already fired
+    held.cancel()
+    assert sim.pending_events == pending_before  # no counter corruption
+    sim.run()
+    assert sim.events_fired == 2
+
+
+def test_unreferenced_fired_handle_is_pooled_and_reused():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)  # return value dropped immediately
+    sim.run()
+    pooled = list(sim._free)
+    assert pooled  # the engine held the last reference, so it recycled
+    reused = sim.schedule(1.0, lambda: None)
+    assert any(reused is h for h in pooled)
+    assert reused.pending
+
+
+def test_recycled_handle_state_is_reset():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "first")
+    sim.run()
+    h = sim.schedule(1.0, fired.append, "second")
+    assert h.pending and not h.cancelled
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_cancelled_unreferenced_handle_recycled_from_run_loop():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    # The cancelled entry was popped dead and pooled (we dropped our ref).
+    assert sim._free
+    assert sim.events_fired == 1
+
+
+# ------------------------------------- pending_events / lazy heap purging
+
+
+def test_pending_events_tracks_schedule_cancel_fire():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    handles[0].cancel()
+    handles[1].cancel()
+    assert sim.pending_events == 8
+    handles[1].cancel()  # double-cancel must not double-count
+    assert sim.pending_events == 8
+    sim.run(until=5.0)  # fires events at t=3,4,5 (1,2 were cancelled)
+    assert sim.pending_events == 5
+
+
+def test_pending_events_excludes_dead_heap_entries():
+    # The counter is maintained incrementally: it must be right even
+    # while cancelled entries still sit in the heap awaiting lazy purge.
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles[:4]:
+        h.cancel()
+    assert len(sim._heap) == 10  # below purge threshold: garbage retained
+    assert sim.pending_events == 6
+
+
+def test_mass_cancellation_triggers_lazy_purge():
+    sim = Simulator()
+    n = 200
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+    # Cancel until dead entries outnumber live ones: the purge must fire
+    # and rebuild the heap with only live entries.
+    for h in handles[: n - 20]:
+        h.cancel()
+    assert sim.pending_events == 20
+    # Purges fired along the way: the heap must have shrunk well below n,
+    # and the steady-state invariant holds -- dead entries never exceed
+    # half the heap unless the heap is already below the purge minimum.
+    heap_len = len(sim._heap)
+    dead = heap_len - sim.pending_events
+    assert heap_len < n // 2
+    assert dead * 2 <= heap_len or heap_len < engine_mod._PURGE_MIN_HEAP
+    sim.run()
+    assert sim.events_fired == 20
+
+
+def test_purge_preserves_firing_order():
+    # Cancelling 80 of 100 events forces at least one in-place purge;
+    # the survivors must still fire in exact (time, seq) order.
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(float(i + 1), fired.append, i) for i in range(100)]
+    for i, h in enumerate(handles):
+        if i % 5 != 0:
+            h.cancel()
+    sim.run()
+    assert fired == [i for i in range(100) if i % 5 == 0]
+
+
+def test_small_heaps_skip_the_purge():
+    # Below _PURGE_MIN_HEAP the garbage is cheaper to drain lazily.
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles[:9]:
+        h.cancel()
+    assert len(sim._heap) == 10
+    assert sim.pending_events == 1
+    assert engine_mod._PURGE_MIN_HEAP > 10  # guards the premise above
