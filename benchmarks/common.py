@@ -13,6 +13,8 @@ for it once.
 
 from __future__ import annotations
 
+import atexit
+import os
 from typing import Callable, Dict, Optional
 
 from repro.experiments import mean_throughput_mbps, run_single_drive
@@ -22,13 +24,18 @@ from repro.mobility import (
     LEAD_IN_M,
     mph_to_mps,
 )
-from repro.orchestration import JobSpec, ResultCache
+from repro.orchestration import ColumnarStore, JobSpec, ResultCache
 
 _CACHE: Dict[str, object] = {}
 
 #: Persistent cross-session cache of drive summaries, shared with the CLI
 #: sweep runner (honours REPRO_CACHE_DIR / REPRO_CACHE_DISABLE).
 _RESULT_CACHE: Optional[ResultCache] = None
+
+#: Optional columnar sidecar: with REPRO_STORE_DIR set, every summary a
+#: benchmark session publishes also lands in packed .npz shards, so a CI
+#: run's drives are queryable as one columnar study afterwards.
+_SUMMARY_STORE: Optional[ColumnarStore] = None
 
 #: Offered UDP load for bulk tests (the paper uses 50-90 Mb/s).
 UDP_RATE_MBPS = 50.0
@@ -58,6 +65,22 @@ def result_cache() -> ResultCache:
     if _RESULT_CACHE is None:
         _RESULT_CACHE = ResultCache.from_env()
     return _RESULT_CACHE
+
+
+def summary_store() -> Optional[ColumnarStore]:
+    """The columnar sidecar store, or None when REPRO_STORE_DIR is unset.
+
+    The partial tail shard flushes at interpreter exit, so a pytest
+    session's drives land as one queryable shard set.
+    """
+    global _SUMMARY_STORE
+    if _SUMMARY_STORE is None:
+        root = os.environ.get("REPRO_STORE_DIR")
+        if not root:
+            return None
+        _SUMMARY_STORE = ColumnarStore(root, shard_size=256)
+        atexit.register(_SUMMARY_STORE.flush)
+    return _SUMMARY_STORE
 
 
 def _normalize_drive_kwargs(kw: dict) -> tuple:
@@ -118,11 +141,16 @@ def drive(mode: str, speed_mph: float, traffic: str, seed: int = SEED, **kw):
         # Publish the summary so later sweeps/benchmark sessions skip
         # this simulation entirely.
         job = _job_for(mode, speed_mph, traffic, seed, udp_rate, rest)
-        if job is not None and result_cache().enabled:
-            result_cache().put(job, result.summarize(
+        store = summary_store()
+        if job is not None and (result_cache().enabled or store is not None):
+            summary = result.summarize(
                 mode=mode, speed_mph=speed_mph, traffic=traffic,
                 udp_rate_mbps=udp_rate, seed=seed, job_key=job.key(),
-            ))
+            )
+            if result_cache().enabled:
+                result_cache().put(job, summary)
+            if store is not None:
+                store.append(summary)
         return result
 
     return cached(key, _run)

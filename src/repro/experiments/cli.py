@@ -28,7 +28,14 @@ import numpy as np
 from ..core.ha import coerce_ha
 from ..faults import FaultScenario
 from ..mobility import LEAD_IN_M, LinearTrajectory, RoadLayout, mph_to_mps
-from ..orchestration import ResultCache, SweepSpec, run_sweep
+from ..orchestration import (
+    ColumnarStore,
+    ResultCache,
+    SweepAggregator,
+    SweepSpec,
+    run_queue_sweep,
+    run_sweep,
+)
 from ..perf import PERF
 from ..policies import (
     PolicySpec,
@@ -232,17 +239,39 @@ def cmd_drive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_campaign(arg: Optional[str]):
+    """``--fault-campaign`` accepts inline JSON or a JSON file path."""
+    if arg is None:
+        return None
+    from ..orchestration import coerce_campaign
+
+    if os.path.exists(arg):
+        with open(arg, "r", encoding="utf-8") as fh:
+            arg = fh.read()
+    try:
+        return coerce_campaign(arg)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"--fault-campaign: {exc}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """A Fig.-13-style grid through the sweep orchestration layer.
 
-    Jobs fan out over ``--jobs`` worker processes; results persist in the
-    on-disk cache, so a repeated sweep skips simulation entirely.
+    ``--backend pool`` (default) fans jobs out over ``--jobs`` worker
+    processes; ``--backend queue`` runs the distributed path -- a
+    directory-lease work queue under ``--queue-dir`` drained by
+    ``--workers`` pull workers with heartbeat leases and crash requeue.
+    ``--store columnar`` additionally streams every summary into packed
+    ``.npz`` shards plus a running ``aggregate.json`` snapshot under
+    ``--store-dir``.  Results persist in the on-disk cache either way,
+    so a repeated sweep skips simulation entirely.
     """
     speeds = [float(s) for s in args.speeds.split(",")]
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     seeds = ([int(s) for s in args.seeds.split(",")]
              if args.seeds else [args.seed])
     scenario = _load_fault_scenario(args.fault_scenario)
+    campaign = _load_fault_campaign(args.fault_campaign)
     policies = None
     if args.policies:
         policies = [_load_policy(p.strip())
@@ -261,15 +290,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         modes=modes, speeds_mph=speeds, traffics=(args.traffic,),
         seeds=seeds, udp_rate_mbps=args.udp_rate,
         n_aps=args.n_aps, ap_spacing_m=args.ap_spacing,
-        fault_scenario=scenario, policies=policies, city=city,
+        fault_scenario=scenario, fault_campaign=campaign,
+        policies=policies, city=city,
         overrides=overrides,
     )
     cache = None if args.no_cache else ResultCache.from_env(args.cache_dir)
-    result = run_sweep(
-        spec, jobs=args.jobs, cache=cache,
-        timeout_s=args.timeout, max_retries=args.retries,
-        verbose=args.verbose,
-    )
+    store = aggregator = None
+    if args.store == "columnar":
+        store = ColumnarStore(args.store_dir)
+        aggregator = SweepAggregator()
+    if args.backend == "queue":
+        workers = args.workers if args.workers is not None else args.jobs
+        queue_dir = args.queue_dir
+        if queue_dir is None:
+            import tempfile
+
+            queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+        result = run_queue_sweep(
+            spec, workers=workers, queue_dir=queue_dir,
+            cache=cache, store=store, aggregator=aggregator,
+            lease_timeout_s=args.lease_timeout,
+            timeout_s=args.timeout, max_retries=args.retries,
+            verbose=args.verbose,
+        )
+    else:
+        result = run_sweep(
+            spec, jobs=args.jobs, cache=cache,
+            timeout_s=args.timeout, max_retries=args.retries,
+            verbose=args.verbose, store=store, aggregator=aggregator,
+        )
+    if store is not None:
+        store.flush()
+        aggregator.write_snapshot(store.root / "aggregate.json")
 
     # Mean coverage throughput per (column, speed), averaged over seeds.
     # Columns are modes; a --policies axis splits them per policy label.
@@ -309,6 +361,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     stats = result.stats
     print(f"jobs: {stats.one_line()}")
+    if args.backend == "queue":
+        print(f"queue: {queue_dir} ({workers} workers, "
+              f"{stats.retries} requeued, {stats.failed} failed)")
+    if store is not None:
+        print(f"store: {store.root} ({len(store)} summaries in "
+              f"{store.n_shards} shards, aggregate.json updated)")
     if cache is not None:
         print(f"cache: {cache.root} "
               f"({stats.cached}/{stats.total} hits, {cache.writes} writes)")
@@ -316,6 +374,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"FAILED {failure.job.key()} after {failure.attempts} attempts: "
               f"{failure.error}")
     return 0 if result.ok else 1
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Inspect a (possibly still running) queue-backed sweep.
+
+    Reads only on-disk state -- the queue's job/lease/result files, the
+    columnar store manifest, and the streaming ``aggregate.json``
+    snapshot -- so it can be pointed at a live run from another shell
+    (or another host, on a shared filesystem).
+    """
+    if args.queue_dir is None and args.store_dir is None:
+        raise SystemExit("sweep-status: give --queue-dir and/or --store-dir")
+    printed = False
+    if args.queue_dir is not None:
+        from ..orchestration import FileQueue
+
+        if not os.path.isdir(args.queue_dir):
+            raise SystemExit(f"sweep-status: no such queue: {args.queue_dir}")
+        status = FileQueue(args.queue_dir).status()
+        total = (status["queued"] + status["leased"] + status["done"]
+                 + status["failed"])
+        print(f"queue  : {args.queue_dir}")
+        print(f"jobs   : {status['done']}/{total} done, "
+              f"{status['queued']} queued, {status['leased']} leased, "
+              f"{status['failed']} failed, {status['requeued']} requeued")
+        printed = True
+    snapshot_path = None
+    if args.store_dir is not None:
+        if not os.path.isdir(args.store_dir):
+            raise SystemExit(f"sweep-status: no such store: {args.store_dir}")
+        store = ColumnarStore(args.store_dir)
+        print(f"store  : {args.store_dir} ({len(store)} summaries in "
+              f"{store.n_shards} shards, store_version "
+              f"{store.manifest['store_version']})")
+        snapshot_path = store.root / "aggregate.json"
+        printed = True
+    if args.queue_dir is not None and snapshot_path is None:
+        snapshot_path = os.path.join(args.queue_dir, "aggregate.json")
+    if snapshot_path is not None and os.path.exists(snapshot_path):
+        with open(snapshot_path) as fh:
+            snap = json.load(fh)
+        print(f"cells  : {len(snap['cells'])} "
+              f"({snap['jobs_seen']} jobs aggregated, "
+              f"metric {snap['metric']})")
+        header = (f"{'mode':>10} {'speed':>6} {'traffic':>7} "
+                  f"{'policy':>18} {'n':>4} {'mean':>8} {'std':>7}")
+        print(header)
+        for cell in snap["cells"]:
+            print(f"{cell['mode']:>10} {cell['speed_mph']:6.0f} "
+                  f"{cell['traffic']:>7} {cell['policy'] or '-':>18} "
+                  f"{cell['n']:4d} {cell['mean']:8.2f} {cell['std']:7.2f}")
+    return 0 if printed else 1
 
 
 def cmd_channel(args: argparse.Namespace) -> int:
@@ -425,7 +535,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--city", default=None, metavar="FILE_OR_JSON",
                        help="CityConfig JSON applied to every job (file path "
                             "or inline); use --modes wgtt with this")
+    sweep.add_argument("--backend", choices=("pool", "queue"), default="pool",
+                       help="pool: ProcessPoolExecutor fan-out (default); "
+                            "queue: directory-lease work queue drained by "
+                            "pull workers with heartbeats and crash requeue")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="queue-backend worker processes "
+                            "(default: --jobs)")
+    sweep.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="queue-backend root directory (default: a fresh "
+                            "temp dir; point several hosts at one shared "
+                            "dir to distribute)")
+    sweep.add_argument("--lease-timeout", type=float, default=30.0,
+                       help="seconds of worker silence before its job is "
+                            "requeued (queue backend)")
+    sweep.add_argument("--store", choices=("json", "columnar"),
+                       default="json",
+                       help="columnar: also pack every summary into .npz "
+                            "shards + a streaming aggregate.json under "
+                            "--store-dir")
+    sweep.add_argument("--store-dir", default=".repro_store", metavar="DIR",
+                       help="columnar store root (default .repro_store)")
+    sweep.add_argument("--fault-campaign", default=None, metavar="JSON",
+                       help="Poisson fault regime crossed with the grid "
+                            "(inline JSON or file with crash_rate_per_ap_hz "
+                            "etc.); per-job scenarios derive from the sweep "
+                            "seed -- mutually exclusive w/ --fault-scenario")
     sweep.set_defaults(fn=cmd_sweep)
+
+    status = sub.add_parser(
+        "sweep-status",
+        help="inspect a queue-backed sweep (live or finished)",
+    )
+    status.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="queue root to summarise")
+    status.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="columnar store root to summarise")
+    status.set_defaults(fn=cmd_sweep_status)
 
     channel = sub.add_parser("channel", help="inspect the picocell channel")
     channel.add_argument("--speed", type=float, default=25.0)

@@ -20,12 +20,32 @@ first-class subsystem:
   sweep abort.
 * :mod:`repro.orchestration.progress` -- :class:`ProgressReporter` and
   :class:`SweepStats` (jobs done/failed/cached, wall clock, events/sec).
+* :mod:`repro.orchestration.queue` -- :class:`WorkQueue` backends
+  (in-process :class:`MemoryQueue` for tests, directory-lease
+  :class:`FileQueue` for multi-worker runs) with heartbeat leases,
+  bounded retries, and crash requeue.
+* :mod:`repro.orchestration.store` -- :class:`ColumnarStore`, packed
+  ``.npz`` result shards with a manifest: a 10^6-job study is queryable
+  in one ``np.load`` per shard instead of 10^6 file opens.
+* :mod:`repro.orchestration.aggregate` -- :class:`SweepAggregator`,
+  order-independent streaming per-cell stats so figures update
+  mid-sweep.
 """
 
+from .aggregate import SweepAggregator
 from .cache import CACHE_SCHEMA_VERSION, ResultCache, default_code_salt
 from .progress import ProgressReporter, SweepStats
-from .runner import JobFailure, SweepResult, SweepRunner, run_sweep
-from .spec import JobSpec, SweepSpec, derive_seed
+from .queue import FileQueue, MemoryQueue, WorkQueue
+from .runner import (
+    JobFailure,
+    SweepResult,
+    SweepRunner,
+    queue_worker_main,
+    run_queue_sweep,
+    run_sweep,
+)
+from .spec import FaultCampaign, JobSpec, SweepSpec, coerce_campaign, derive_seed
+from .store import ColumnarStore, migrate_json_cache
 from .summary import DriveSummary
 
 __all__ = [
@@ -38,8 +58,18 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "run_sweep",
+    "run_queue_sweep",
+    "queue_worker_main",
     "JobSpec",
     "SweepSpec",
+    "FaultCampaign",
+    "coerce_campaign",
     "derive_seed",
     "DriveSummary",
+    "WorkQueue",
+    "MemoryQueue",
+    "FileQueue",
+    "ColumnarStore",
+    "migrate_json_cache",
+    "SweepAggregator",
 ]

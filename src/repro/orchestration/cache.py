@@ -41,7 +41,12 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "default_code_salt"]
 #:    ExperimentConfig grew ``ha``/``check_invariants``.
 #: 4: JobSpec grew ``city``; DriveSummary grew ``n_vehicles``/
 #:    ``n_segments``/``per_segment_mbps``.
-CACHE_SCHEMA_VERSION = 4
+#: 5: the distributed-sweep era: results also live in the columnar
+#:    store (``store.STORE_VERSION`` tracks this number), SweepSpec grew
+#:    ``fault_campaign``, and queue-backed runs share cache entries with
+#:    serial ones -- old-schema entries must never be resurrected into
+#:    that shared pool.
+CACHE_SCHEMA_VERSION = 5
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

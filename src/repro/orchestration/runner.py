@@ -46,11 +46,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
 from .progress import ProgressReporter, SweepStats
+from .queue import DEFAULT_LEASE_TIMEOUT_S, Claim, FileQueue, WorkQueue
 from .spec import JobSpec, SweepSpec
 from .summary import DriveSummary
 
 __all__ = ["JobFailure", "SweepResult", "SweepRunner", "run_sweep",
-           "execute_job_inline"]
+           "run_queue_sweep", "queue_worker_main", "execute_job_inline"]
 
 
 # ------------------------------------------------------------------ worker
@@ -177,6 +178,8 @@ class SweepRunner:
         timeout_s: Optional[float] = None,
         max_retries: int = 2,
         reporter: Optional[ProgressReporter] = None,
+        store=None,
+        aggregator=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -187,6 +190,16 @@ class SweepRunner:
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.reporter = reporter or ProgressReporter(verbose=False)
+        #: Optional ColumnarStore / SweepAggregator fed as results land
+        #: (cached and fresh alike), so figures can stream mid-sweep.
+        self.store = store
+        self.aggregator = aggregator
+
+    def _publish(self, summary: DriveSummary) -> None:
+        if self.store is not None:
+            self.store.append(summary)
+        if self.aggregator is not None:
+            self.aggregator.add(summary)
 
     # ---------------------------------------------------------------- run
     def run(self, sweep: Union[SweepSpec, Iterable[JobSpec]]) -> SweepResult:
@@ -204,6 +217,7 @@ class SweepRunner:
             cached = self.cache.get(job) if self.cache is not None else None
             if cached is not None:
                 summaries[job] = cached
+                self._publish(cached)
                 reporter.job_done(job.key(), 0, 0.0, cached=True)
             else:
                 pending.append(job)
@@ -220,6 +234,7 @@ class SweepRunner:
                     summaries[job] = summary
                     if self.cache is not None:
                         self.cache.put(job, summary)
+                    self._publish(summary)
                     reporter.job_done(
                         job.key(), summary.events_fired,
                         summary.wall_clock_s, cached=False,
@@ -290,11 +305,278 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     max_retries: int = 2,
     verbose: bool = False,
+    store=None,
+    aggregator=None,
 ) -> SweepResult:
     """One-call sweep execution (the CLI and benchmarks go through this)."""
     runner = SweepRunner(
         jobs=jobs, cache=cache, timeout_s=timeout_s,
         max_retries=max_retries,
         reporter=ProgressReporter(verbose=verbose),
+        store=store, aggregator=aggregator,
     )
     return runner.run(sweep)
+
+
+# ------------------------------------------------------------ queue backend
+def _run_claim(queue: WorkQueue, claim: Claim,
+               timeout_s: Optional[float]) -> None:
+    """Execute one claimed job and release it (complete or fail).
+
+    Shared by the worker process loop and the inline drain: test hooks
+    and the SIGALRM wall-clock guard apply identically, so a timeout or
+    injected crash behaves the same on every backend.
+    """
+    alarm_armed = False
+    try:
+        if timeout_s and hasattr(signal, "SIGALRM"):
+            def _on_alarm(_sig, _frame):
+                raise TimeoutError(f"job exceeded {timeout_s}s wall clock")
+            signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+            alarm_armed = True
+        _apply_test_hooks(claim.job)
+        summary = execute_job_inline(claim.job)
+        queue.complete(claim, summary.to_dict())
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        queue.fail(claim, f"{type(exc).__name__}: {exc}")
+    finally:
+        if alarm_armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def queue_worker_main(
+    root: str,
+    worker_id: str,
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    max_retries: int = 2,
+    timeout_s: Optional[float] = None,
+    poll_s: float = 0.05,
+) -> None:
+    """A pull worker: claim, heartbeat, run, push, repeat until drained.
+
+    This is the entry point a worker *process* runs (the coordinator
+    spawns N of them; on a shared filesystem any number of hosts could
+    run it against the same root).  A heartbeat thread renews the lease
+    at a quarter of the expiry period while the drive runs; if this
+    process dies mid-job, the lease goes stale and any surviving party
+    requeues the job.
+    """
+    import threading
+
+    queue = FileQueue(root, lease_timeout_s=lease_timeout_s,
+                      max_retries=max_retries)
+    while queue.jobs_remaining() > 0:
+        claim = queue.claim(worker_id)
+        if claim is None:
+            # Everything left is leased by someone else; reclaim any
+            # expired leases ourselves so a dead peer cannot stall us.
+            queue.requeue_expired()
+            sleep(poll_s)
+            continue
+        stop = threading.Event()
+
+        def _beat(claim=claim, stop=stop):
+            while not stop.wait(lease_timeout_s / 4.0):
+                try:
+                    queue.heartbeat(claim)
+                except OSError:  # pragma: no cover - fs went away
+                    return
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        try:
+            _run_claim(queue, claim, timeout_s)
+        finally:
+            stop.set()
+
+
+def run_queue_sweep(
+    sweep: Union[SweepSpec, Iterable[JobSpec]],
+    workers: int = 2,
+    queue: Optional[WorkQueue] = None,
+    queue_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    store=None,
+    aggregator=None,
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    max_retries: int = 2,
+    timeout_s: Optional[float] = None,
+    poll_s: float = 0.05,
+    verbose: bool = False,
+    reporter: Optional[ProgressReporter] = None,
+) -> SweepResult:
+    """Run a sweep through a :class:`~repro.orchestration.queue.WorkQueue`.
+
+    The coordinator enqueues cache-missing jobs, spawns ``workers``
+    pull-worker processes, and streams results as they land: each
+    summary is cached, appended to ``store`` (columnar), and fed to
+    ``aggregator``, whose snapshot is republished after every drain so
+    figures can update mid-sweep.  Dead workers are respawned while jobs
+    remain; their in-flight jobs requeue via lease expiry.
+
+    ``workers=0`` drains the queue inline in this process (no spawning)
+    -- with a :class:`~repro.orchestration.queue.MemoryQueue` that is
+    the deterministic single-threaded reference the test battery
+    compares every other schedule against.
+
+    Determinism: summaries depend only on each job's spec (seeds are
+    derived from grid coordinates, never from scheduling), so the
+    returned :class:`SweepResult` is byte-identical to ``run_sweep``
+    over the same grid, no matter the worker count or pull order.
+    """
+    import multiprocessing as mp
+
+    jobs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+    reporter = reporter or ProgressReporter(verbose=verbose)
+    reporter.begin(len(jobs))
+
+    if queue is None:
+        if queue_dir is None:
+            raise ValueError("provide a queue or a queue_dir")
+        queue = FileQueue(queue_dir, lease_timeout_s=lease_timeout_s,
+                          max_retries=max_retries)
+
+    def _publish(summary: DriveSummary) -> None:
+        if store is not None:
+            store.append(summary)
+        if aggregator is not None:
+            aggregator.add(summary)
+
+    def _snapshot() -> None:
+        if aggregator is None:
+            return
+        root = getattr(store, "root", None) or getattr(queue, "root", None)
+        if root is not None:
+            aggregator.write_snapshot(os.path.join(str(root),
+                                                   "aggregate.json"))
+
+    # Cache hits never enter the queue (same policy as the pool runner).
+    unique: List[JobSpec] = list(dict.fromkeys(jobs))
+    summaries: Dict[JobSpec, DriveSummary] = {}
+    failures: List[JobFailure] = []
+    pending: List[JobSpec] = []
+    for job in unique:
+        cached = cache.get(job) if cache is not None else None
+        if cached is not None:
+            summaries[job] = cached
+            _publish(cached)
+            reporter.job_done(job.key(), 0, 0.0, cached=True)
+        else:
+            pending.append(job)
+
+    names = queue.enqueue(pending)
+    by_name = dict(zip(names, pending))
+    accounted: set = set()
+
+    def _drain() -> None:
+        for name, summary_dict in queue.drain_results():
+            job = by_name.get(name)
+            if job is None or name in accounted:
+                continue
+            accounted.add(name)
+            summary = DriveSummary.from_dict(summary_dict)
+            summaries[job] = summary
+            if cache is not None:
+                cache.put(job, summary)
+            _publish(summary)
+            reporter.job_done(job.key(), summary.events_fired,
+                              summary.wall_clock_s, cached=False)
+        failed = queue.failures() if hasattr(queue, "failures") else {}
+        for name, payload in failed.items():
+            if name not in by_name or name in accounted:
+                continue
+            accounted.add(name)
+            reporter.job_failed(by_name[name].key(),
+                                payload.get("attempts", max_retries + 1),
+                                payload.get("error", "unknown error"))
+            failures.append(JobFailure(
+                job=by_name[name],
+                attempts=payload.get("attempts", max_retries + 1),
+                error=payload.get("error", "unknown error"),
+            ))
+
+    if workers == 0:
+        # Inline drain: this process is the (only) worker.
+        while queue.jobs_remaining() > 0:
+            claim = queue.claim("inline-0")
+            if claim is None:
+                if queue.requeue_expired() == 0:
+                    break  # leases held by nobody we can wait for
+                continue
+            _run_claim(queue, claim, timeout_s)
+            _drain()
+            _snapshot()
+    else:
+        if not isinstance(queue, FileQueue):
+            raise ValueError(
+                "spawned workers need a FileQueue; use workers=0 to "
+                "drain an in-process queue inline"
+            )
+        ctx = mp.get_context()
+        procs: Dict[int, Any] = {}
+        spawned = 0
+        # Enough headroom to survive every allowed crash-retry, bounded
+        # so a pathological crash loop cannot fork forever.
+        spawn_budget = workers + (max_retries + 1) * max(len(pending), 1)
+
+        def _spawn_one() -> None:
+            nonlocal spawned
+            proc = ctx.Process(
+                target=queue_worker_main,
+                args=(str(queue.root), f"worker-{spawned}",
+                      lease_timeout_s, max_retries, timeout_s, poll_s),
+                daemon=True,
+            )
+            proc.start()
+            procs[spawned] = proc
+            spawned += 1
+
+        try:
+            while len(accounted) < len(pending):
+                queue.requeue_expired()
+                _drain()
+                _snapshot()
+                for wid, proc in list(procs.items()):
+                    if not proc.is_alive():
+                        proc.join()
+                        del procs[wid]
+                # Keep the worker pool topped up while claimable work
+                # remains (a crashed worker's lease frees after expiry).
+                want = min(workers, queue.jobs_remaining())
+                while len(procs) < want and spawned < spawn_budget:
+                    _spawn_one()
+                if not procs and queue.jobs_remaining() > 0 \
+                        and spawned >= spawn_budget:
+                    break  # crash loop: report what we have
+                sleep(poll_s)
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=max(lease_timeout_s, 5.0))
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+    _drain()
+
+    # Anything still unaccounted is a hard failure (crash-loop cap hit).
+    for name, job in by_name.items():
+        if name not in accounted and job not in summaries:
+            failures.append(JobFailure(
+                job=job, attempts=max_retries + 1,
+                error="job never completed (worker crash loop)",
+            ))
+
+    if store is not None:
+        store.flush()
+    _snapshot()
+    # Requeues happened in workers/the queue, not through this reporter;
+    # fold the queue's own count in before the closing line prints.
+    reporter.stats.retries = int(queue.status().get("requeued", 0))
+    stats = reporter.end()
+    return SweepResult(
+        jobs=jobs,
+        summaries=[summaries.get(job) for job in jobs],
+        failures=failures,
+        stats=stats,
+    )

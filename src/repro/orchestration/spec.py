@@ -23,10 +23,11 @@ from dataclasses import dataclass, field, fields
 from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..faults import coerce_scenario
+from ..faults import FaultScenario, coerce_scenario
 from ..policies import coerce_policy
 
-__all__ = ["JobSpec", "SweepSpec", "derive_seed"]
+__all__ = ["FaultCampaign", "JobSpec", "SweepSpec", "coerce_campaign",
+           "derive_seed"]
 
 
 def _canonical_scenario_json(value: Any) -> Optional[str]:
@@ -63,6 +64,87 @@ def _canonical_city_json(value: Any) -> Optional[str]:
 #: Scalar types allowed in job overrides (anything else cannot be hashed
 #: into a stable cache key or serialised to JSON losslessly).
 _SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A sweep-level probabilistic fault regime, crossed with the grid.
+
+    Instead of one literal :class:`~repro.faults.FaultScenario` applied
+    to every job, a campaign *derives* a fresh scenario per grid point:
+    the Poisson generator is seeded with
+    ``derive_seed(base_seed, "fault-campaign", mode, speed, traffic, seed)``,
+    so the per-job fault schedule is a pure function of the sweep seed
+    and the job's own coordinates -- independent of execution order,
+    worker count, or queue scheduling.  Reruns regenerate byte-identical
+    scenarios and therefore identical cache keys (100 % hits).
+    """
+
+    crash_rate_per_ap_hz: float
+    mean_downtime_s: float = 2.0
+    #: Window the generator materialises events over.  Events past the
+    #: end of a shorter drive simply never fire.
+    duration_s: float = 8.0
+    #: AP count the generator draws for (None = the sweep's ``n_aps``,
+    #: falling back to the default 8-AP testbed).
+    n_aps: Optional[int] = None
+    controller_crash_rate_hz: float = 0.0
+    controller_mean_downtime_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_ap_hz < 0 or self.controller_crash_rate_hz < 0:
+            raise ValueError("crash rates must be >= 0")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"crash_rate_per_ap_hz": self.crash_rate_per_ap_hz}
+        for f in fields(self):
+            if f.name == "crash_rate_per_ap_hz":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultCampaign":
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def scenario_for(self, base_seed: int, mode: str, speed: float,
+                     traffic: str, seed: int,
+                     default_n_aps: int) -> FaultScenario:
+        """Materialise this campaign for one grid point, deterministically."""
+        scenario_seed = derive_seed(
+            base_seed, "fault-campaign", mode, speed, traffic, seed
+        )
+        return FaultScenario.poisson_ap_crashes(
+            n_aps=self.n_aps if self.n_aps is not None else default_n_aps,
+            duration_s=self.duration_s,
+            crash_rate_per_ap_hz=self.crash_rate_per_ap_hz,
+            mean_downtime_s=self.mean_downtime_s,
+            seed=scenario_seed,
+            controller_crash_rate_hz=self.controller_crash_rate_hz,
+            controller_mean_downtime_s=self.controller_mean_downtime_s,
+        )
+
+
+def coerce_campaign(value: Any) -> Optional[FaultCampaign]:
+    """Accept a FaultCampaign, dict, or JSON string (None passes through)."""
+    if value is None or isinstance(value, FaultCampaign):
+        return value
+    if isinstance(value, str):
+        return FaultCampaign.from_dict(json.loads(value))
+    if isinstance(value, dict):
+        return FaultCampaign.from_dict(value)
+    raise TypeError(
+        f"fault campaign must be FaultCampaign, dict, or JSON str, "
+        f"got {type(value).__name__}"
+    )
 
 
 def derive_seed(base_seed: int, *components: Any) -> int:
@@ -234,6 +316,11 @@ class SweepSpec:
     ap_spacing_m: Optional[float] = None
     #: Fault scenario applied to every job (FaultScenario, dict, or JSON).
     fault_scenario: Optional[Any] = None
+    #: Probabilistic fault regime crossed with the grid: each job gets a
+    #: scenario generated from ``base_seed`` + its own grid coordinates
+    #: (FaultCampaign, dict, or JSON).  Mutually exclusive with
+    #: ``fault_scenario``.
+    fault_campaign: Optional[Any] = None
     #: Handover-policy axis (each entry a PolicySpec, dict, name, or
     #: JSON; None entries mean the default policy).  None skips the axis
     #: entirely.  Seeds do not depend on the policy, so every policy in
@@ -250,6 +337,16 @@ class SweepSpec:
         jobs: List[JobSpec] = []
         override_items = tuple(sorted(self.overrides.items()))
         scenario_json = _canonical_scenario_json(self.fault_scenario)
+        campaign = coerce_campaign(self.fault_campaign)
+        if campaign is not None and scenario_json is not None:
+            raise ValueError(
+                "fault_scenario and fault_campaign are mutually exclusive"
+            )
+        if campaign is not None:
+            from ..mobility.trajectory import DEFAULT_N_APS
+
+            default_n_aps = (self.n_aps if self.n_aps is not None
+                             else DEFAULT_N_APS)
         city_json = _canonical_city_json(self.city)
         policy_axis = (
             [None] if self.policies is None
@@ -265,6 +362,11 @@ class SweepSpec:
                     for rep in range(self.replicates)
                 ]
             for seed in seeds:
+                if campaign is not None:
+                    scenario_json = campaign.scenario_for(
+                        self.base_seed, mode, float(speed), traffic,
+                        int(seed), default_n_aps,
+                    ).to_json()
                 jobs.append(JobSpec(
                     mode=mode,
                     speed_mph=float(speed),

@@ -159,6 +159,17 @@ class DriveSummary:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """``to_dict()`` minus wall-clock timing.
+
+        Everything left is a pure function of the job spec: this is the
+        dict the determinism battery compares byte-for-byte across
+        worker counts, pull orders, and crash/requeue schedules.
+        """
+        out = self.to_dict()
+        out.pop("wall_clock_s")
+        return out
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DriveSummary":
         data = dict(data)

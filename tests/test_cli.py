@@ -64,6 +64,47 @@ def test_sweep_defaults():
     assert args.jobs == 1
     assert args.retries == 2
     assert not args.no_cache
+    assert args.backend == "pool"
+    assert args.store == "json"
+    assert args.fault_campaign is None
+
+
+def test_sweep_queue_backend_with_columnar_store(capsys, tmp_path):
+    queue_dir = str(tmp_path / "queue")
+    store_dir = str(tmp_path / "store")
+    extra = ["--backend", "queue", "--workers", "2",
+             "--queue-dir", queue_dir, "--store", "columnar",
+             "--store-dir", store_dir, "--cache-dir", str(tmp_path / "c")]
+    assert main(SWEEP_SMALL + extra) == 0
+    out = capsys.readouterr().out
+    assert "wgtt" in out and "baseline" in out
+    assert "queue:" in out and "store:" in out
+    assert "2 summaries" in out
+
+    # sweep-status reads the same dirs back.
+    assert main(["sweep-status", "--queue-dir", queue_dir,
+                 "--store-dir", store_dir]) == 0
+    status = capsys.readouterr().out
+    assert "done" in status
+    assert "store_version" in status or "summaries" in status
+
+    # And the numbers match a plain pool run of the same grid.
+    assert main(SWEEP_SMALL + ["--no-cache"]) == 0
+    pool_out = capsys.readouterr().out
+    assert out.splitlines()[1] == pool_out.splitlines()[1]
+
+
+def test_sweep_fault_campaign_flag(capsys, tmp_path):
+    campaign = '{"crash_rate_per_ap_hz": 0.05, "duration_s": 4.0}'
+    cache = ["--cache-dir", str(tmp_path)]
+    assert main(SWEEP_SMALL + cache + ["--fault-campaign", campaign]) == 0
+    first = capsys.readouterr().out
+    assert "2 run, 0 cached" in first
+    # Rerun: the per-job scenarios re-derive identically -> all hits.
+    assert main(SWEEP_SMALL + cache + ["--fault-campaign", campaign]) == 0
+    second = capsys.readouterr().out
+    assert "0 run, 2 cached" in second
+    assert first.splitlines()[1] == second.splitlines()[1]
 
 
 def test_ha_flags_parse():

@@ -1,0 +1,93 @@
+"""Unit tests for the streaming sweep aggregator.
+
+The property that matters for the queue backend: snapshots are a pure
+function of the *set* of consumed summaries -- arrival order, duplicate
+deliveries (crash windows), and the add()-vs-consume_store() path must
+all serialise to identical bytes.
+"""
+
+import json
+import random
+
+from repro.orchestration import ColumnarStore, SweepAggregator
+
+from tests.test_orchestration_store import make_summary
+
+
+def test_snapshot_bytes_independent_of_arrival_order():
+    summaries = [make_summary(s, mode=m)
+                 for s in range(12) for m in ("wgtt", "baseline")]
+    a = SweepAggregator()
+    for s in summaries:
+        a.add(s)
+    b = SweepAggregator()
+    shuffled = list(summaries)
+    random.Random(99).shuffle(shuffled)
+    for s in shuffled:
+        b.add(s)
+    assert a.to_json() == b.to_json()
+
+
+def test_duplicate_job_key_overwrites_not_double_counts():
+    agg = SweepAggregator()
+    s = make_summary(1)
+    agg.add(s)
+    agg.add(s)  # crash-window duplicate delivery
+    snap = agg.snapshot()
+    assert agg.jobs_seen == 1
+    assert snap["cells"][0]["n"] == 1
+
+
+def test_cell_stats_are_correct():
+    agg = SweepAggregator(metric="throughput_mbps")
+    values = []
+    for seed in range(4):
+        s = make_summary(seed)
+        values.append(s.throughput_mbps)
+        agg.add(s)
+    cell = agg.snapshot()["cells"][0]
+    mean = sum(values) / len(values)
+    assert cell["n"] == 4
+    assert cell["mean"] == mean
+    assert cell["min"] == min(values) and cell["max"] == max(values)
+    assert cell["std"] == (sum((v - mean) ** 2 for v in values) / 4) ** 0.5
+    assert agg.cell_mean("wgtt", 25.0, "udp") == mean
+
+
+def test_policy_is_part_of_the_cell_key():
+    agg = SweepAggregator()
+    agg.add(make_summary(1, policy=""))
+    agg.add(make_summary(2, policy="sticky"))
+    cells = agg.snapshot()["cells"]
+    assert len(cells) == 2
+    assert sorted(c["policy"] for c in cells) == ["", "sticky"]
+
+
+def test_consume_store_matches_add_path(tmp_path):
+    summaries = [make_summary(s, mode=("wgtt" if s % 2 else "baseline"))
+                 for s in range(20)]
+    store = ColumnarStore(tmp_path, shard_size=7)
+    store.extend(summaries)
+    store.flush()
+    via_store = SweepAggregator()
+    assert via_store.consume_store(store) == 20
+    via_add = SweepAggregator()
+    for s in summaries:
+        via_add.add(s)
+    assert via_store.to_json() == via_add.to_json()
+
+
+def test_write_snapshot_is_valid_json(tmp_path):
+    agg = SweepAggregator()
+    agg.add(make_summary(3))
+    path = tmp_path / "deep" / "aggregate.json"
+    agg.write_snapshot(path)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == agg.snapshot()
+
+
+def test_empty_aggregator_snapshot():
+    agg = SweepAggregator()
+    snap = agg.snapshot()
+    assert snap["cells"] == [] and snap["jobs_seen"] == 0
+    assert agg.cell_mean("wgtt", 25.0, "udp") is None

@@ -117,6 +117,55 @@ def test_pre_city_schema_entries_miss_cleanly(tmp_path):
     assert not path.exists()  # healed: a later put can rewrite it
 
 
+def test_pre_distributed_schema4_entries_miss_cleanly(tmp_path):
+    """Schema 5 (the distributed-sweep era) must not serve schema-4
+    entries: queue-backed and serial runs share one cache pool, so a
+    stale entry would silently poison every backend at once."""
+    from repro.orchestration import CACHE_SCHEMA_VERSION
+
+    assert CACHE_SCHEMA_VERSION == 5
+    job = JobSpec(seed=13)
+    old = ResultCache(root=tmp_path, salt="repro-0.0-schema4")
+    old.put(job, _summary(job))
+    current = ResultCache(root=tmp_path)
+    assert "schema4" not in default_code_salt()
+    assert "schema5" in default_code_salt()
+    assert current.get(job) is None  # old salt, unreachable entry
+    # The stale entry is still on disk (misses don't delete foreign
+    # salts) but invisible; a fresh run rewrites under the new salt.
+    current.put(job, _summary(job, 33.0))
+    assert current.get(job).throughput_mbps == 33.0
+    assert old.get(job).throughput_mbps == 12.5  # untouched
+
+
+def test_store_version_tracks_cache_schema_version():
+    from repro.orchestration import CACHE_SCHEMA_VERSION
+    from repro.orchestration.store import STORE_VERSION
+
+    # One schema number, two layers: bump them together or readers of
+    # one format could resurrect stale data from the other.
+    assert STORE_VERSION == CACHE_SCHEMA_VERSION
+
+
+def test_json_era_cache_migrates_into_columnar_shards(tmp_path):
+    """The upgrade path: a populated JSON cache packs into the columnar
+    store losslessly, ready for aggregator-speed queries."""
+    from repro.orchestration import ColumnarStore, migrate_json_cache
+
+    cache = ResultCache(root=tmp_path / "cache")
+    originals = {}
+    for seed in range(8):
+        job = JobSpec(mode="wgtt", speed_mph=25.0, traffic="udp", seed=seed)
+        summary = _summary(job, throughput=10.0 + seed)
+        cache.put(job, summary)
+        originals[job.key()] = summary.to_dict()
+    store = ColumnarStore(tmp_path / "store", shard_size=3)
+    assert migrate_json_cache(tmp_path / "cache", store) == 8
+    assert store.n_shards == 3  # 3 + 3 + 2
+    migrated = {s.job_key: s.to_dict() for s in store.summaries()}
+    assert migrated == originals
+
+
 def test_city_summary_fields_roundtrip(tmp_path):
     cache = ResultCache(root=tmp_path)
     job = JobSpec(seed=12, city='{"cols":2,"rows":2}')

@@ -6,14 +6,20 @@ worker counts, cache hits, crash isolation, retries, timeouts) do not
 depend on scale.
 """
 
+import json
+import random
+
 import pytest
 
 from repro.orchestration import (
+    FaultCampaign,
     JobSpec,
+    MemoryQueue,
     ProgressReporter,
     ResultCache,
     SweepRunner,
     SweepSpec,
+    run_queue_sweep,
     run_sweep,
 )
 
@@ -154,3 +160,177 @@ def test_jobspec_round_trip_preserves_identity_under_pool():
     job = JobSpec(mode="baseline", speed_mph=35.0, traffic="udp",
                   udp_rate_mbps=5.0, seed=1, n_aps=3)
     assert JobSpec.from_dict(job.canonical()) == job
+
+
+# ================================================== determinism battery
+# The distributed-sweep invariant: summaries are a pure function of the
+# job spec.  Worker count, pull order, crash/requeue schedules -- none
+# of it may perturb a single byte of the results or the cache entries.
+
+def sweep_bytes(result):
+    """The byte-comparable identity of a sweep (wall clock excluded)."""
+    assert all(s is not None for s in result.summaries)
+    return json.dumps([s.deterministic_dict() for s in result.summaries],
+                      sort_keys=True)
+
+
+def cache_identity(cache):
+    """(relative path, summary-minus-wall-clock) for every cache entry."""
+    out = {}
+    for path in sorted(cache.root.glob("*/*.json")):
+        record = json.loads(path.read_text())
+        record["summary"].pop("wall_clock_s")
+        out[str(path.relative_to(cache.root))] = record["summary"]
+    return out
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """One serial run of the small spec; every schedule must match it."""
+    result = run_sweep(small_spec(), jobs=1)
+    assert result.ok
+    return sweep_bytes(result)
+
+
+@pytest.mark.parametrize("order_seed", [0, 1, 2])
+def test_shuffled_pull_orders_are_byte_identical(serial_reference, order_seed):
+    queue = MemoryQueue(pull_order=random.Random(order_seed).shuffle)
+    result = run_queue_sweep(small_spec(), workers=0, queue=queue)
+    assert result.ok
+    assert sweep_bytes(result) == serial_reference
+
+
+def test_reverse_pull_order_is_byte_identical(serial_reference):
+    queue = MemoryQueue(pull_order=lambda names: names.reverse())
+    result = run_queue_sweep(small_spec(), workers=0, queue=queue)
+    assert sweep_bytes(result) == serial_reference
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_file_queue_worker_counts_are_byte_identical(
+        serial_reference, workers, tmp_path):
+    result = run_queue_sweep(small_spec(), workers=workers,
+                             queue_dir=str(tmp_path / "q"))
+    assert result.ok
+    assert sweep_bytes(result) == serial_reference
+
+
+def test_inline_crash_and_requeue_is_byte_identical(
+        serial_reference, tmp_path, monkeypatch):
+    # Every job crashes on its first attempt; the retries must still
+    # reproduce the reference bytes (the requeue path rebuilds the
+    # network from the spec, never from partial state).
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exception")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "baseline")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_ONCE_DIR", str(tmp_path))
+    queue = MemoryQueue(pull_order=random.Random(7).shuffle)
+    result = run_queue_sweep(small_spec(), workers=0, queue=queue,
+                             max_retries=2)
+    assert result.ok
+    assert result.stats.retries >= 2  # both jobs crashed once
+    assert sweep_bytes(result) == serial_reference
+
+
+def test_worker_process_crash_requeues_and_stays_identical(
+        serial_reference, tmp_path, monkeypatch):
+    # A real worker process dies via os._exit mid-sweep; the lease
+    # expires, another worker reruns the job, bytes still match.
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exit")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_ONCE_DIR", str(tmp_path / "m"))
+    (tmp_path / "m").mkdir()
+    result = run_queue_sweep(small_spec(), workers=2,
+                             queue_dir=str(tmp_path / "q"),
+                             lease_timeout_s=0.5, max_retries=2)
+    assert result.ok
+    assert result.stats.retries >= 1  # the crashed job was requeued
+    assert sweep_bytes(result) == serial_reference
+
+
+def test_queue_and_serial_runs_share_cache_entries(tmp_path):
+    serial_cache = ResultCache(root=tmp_path / "serial")
+    queue_cache = ResultCache(root=tmp_path / "queue")
+    serial = run_sweep(small_spec(), jobs=1, cache=serial_cache)
+    queued = run_queue_sweep(small_spec(), workers=0,
+                             queue=MemoryQueue(
+                                 pull_order=lambda n: n.reverse()),
+                             cache=queue_cache)
+    assert serial.ok and queued.ok
+    # Same keys (paths) AND same stored summaries, byte for byte.
+    assert cache_identity(serial_cache) == cache_identity(queue_cache)
+    # A queue run after a serial run is a pure cache replay.
+    replay = run_queue_sweep(small_spec(), workers=0, queue=MemoryQueue(),
+                             cache=ResultCache(root=tmp_path / "serial"))
+    assert replay.stats.cached == 2 and replay.stats.completed == 0
+    assert sweep_bytes(replay) == sweep_bytes(serial)
+
+
+def test_queue_sweep_reports_terminal_failures(monkeypatch):
+    # No CRASH_ONCE_DIR: seed 1 fails every attempt, seed 2 completes.
+    monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "exception")
+    monkeypatch.setenv("REPRO_SWEEP_TEST_MATCH", "s1")
+    result = run_queue_sweep(small_spec(), workers=0,
+                             queue=MemoryQueue(max_retries=1), max_retries=1)
+    assert not result.ok
+    assert len(result.failures) == 1
+    by_seed = {j.seed: s for j, s in zip(result.jobs, result.summaries)}
+    assert by_seed[1] is None and by_seed[2] is not None
+
+
+def test_spawned_workers_require_a_file_queue():
+    with pytest.raises(ValueError, match="FileQueue"):
+        run_queue_sweep(small_spec(), workers=2, queue=MemoryQueue())
+
+
+def test_queue_sweep_streams_into_store_and_aggregator(tmp_path):
+    from repro.orchestration import ColumnarStore, SweepAggregator
+
+    store = ColumnarStore(tmp_path / "store", shard_size=1)
+    agg = SweepAggregator()
+    result = run_queue_sweep(small_spec(), workers=0, queue=MemoryQueue(),
+                             store=store, aggregator=agg)
+    assert result.ok
+    # Store holds both summaries (keyed, order may differ from the spec).
+    stored = {s.job_key: s.deterministic_dict() for s in store.summaries()}
+    assert stored == {s.job_key: s.deterministic_dict()
+                      for s in result.summaries}
+    snap = agg.snapshot()
+    assert snap["jobs_seen"] == 2
+    assert (tmp_path / "store" / "aggregate.json").exists()
+
+
+# ------------------------------------------------- fault-campaign sweeps
+FAULTY = dict(
+    modes=("wgtt",), speeds_mph=(35.0,), traffics=("udp",),
+    udp_rate_mbps=5.0, n_aps=3, seeds=(1, 2),
+    fault_campaign=FaultCampaign(crash_rate_per_ap_hz=0.05,
+                                 mean_downtime_s=1.0, duration_s=6.0),
+)
+
+
+def test_fault_campaign_sweep_is_deterministic_and_cache_stable(tmp_path):
+    """The fault-campaign regression: per-job scenarios derive from the
+    sweep seed, so a rerun is 100% cache hits and byte-identical."""
+    spec = SweepSpec(**FAULTY)
+    jobs = spec.expand()
+    assert all(j.fault_scenario is not None for j in jobs)
+    assert jobs[0].fault_scenario != jobs[1].fault_scenario  # per-seed
+    assert spec.expand() == jobs  # scenario derivation is reproducible
+
+    cache = ResultCache(root=tmp_path)
+    first = run_sweep(spec, jobs=1, cache=cache)
+    assert first.ok
+    assert first.stats.completed == 2 and first.stats.cached == 0
+    rerun = run_sweep(SweepSpec(**FAULTY), jobs=1,
+                      cache=ResultCache(root=tmp_path))
+    assert rerun.stats.cached == 2 and rerun.stats.completed == 0
+    assert rerun.stats.cache_hit_rate == 1.0
+    assert sweep_bytes(rerun) == sweep_bytes(first)
+
+
+def test_fault_campaign_queue_run_matches_serial(tmp_path):
+    serial = run_sweep(SweepSpec(**FAULTY), jobs=1)
+    queued = run_queue_sweep(SweepSpec(**FAULTY), workers=2,
+                             queue_dir=str(tmp_path / "q"))
+    assert serial.ok and queued.ok
+    assert sweep_bytes(queued) == sweep_bytes(serial)

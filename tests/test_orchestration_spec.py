@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.orchestration import JobSpec, SweepSpec, derive_seed
+from repro.orchestration import (
+    FaultCampaign,
+    JobSpec,
+    SweepSpec,
+    coerce_campaign,
+    derive_seed,
+)
 
 
 def test_grid_expansion_count_and_order():
@@ -94,6 +100,67 @@ def test_replicates_derive_seeds_independent_of_execution_order():
     wgtt_seeds = {j.seed for j in jobs if j.mode == "wgtt"}
     base_seeds = {j.seed for j in jobs if j.mode == "baseline"}
     assert wgtt_seeds.isdisjoint(base_seeds)
+
+
+class TestFaultCampaign:
+    CAMPAIGN = dict(crash_rate_per_ap_hz=0.1, mean_downtime_s=1.5,
+                    duration_s=6.0)
+
+    def test_coercion_accepts_all_forms(self):
+        a = FaultCampaign(**self.CAMPAIGN)
+        b = coerce_campaign(dict(self.CAMPAIGN))
+        c = coerce_campaign(a.to_json())
+        assert a == b == c
+        assert coerce_campaign(None) is None
+        assert FaultCampaign.from_dict(a.to_dict()) == a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(crash_rate_per_ap_hz=-1.0)
+        with pytest.raises(ValueError):
+            FaultCampaign(crash_rate_per_ap_hz=0.1, duration_s=0.0)
+
+    def test_mutually_exclusive_with_fault_scenario(self):
+        from repro.faults import FaultScenario
+
+        spec = SweepSpec(
+            modes=("wgtt",), speeds_mph=(15.0,), seeds=(0,),
+            fault_scenario=FaultScenario.single_ap_crash(ap=0, at=1.0),
+            fault_campaign=self.CAMPAIGN,
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            spec.expand()
+
+    def test_scenario_derivation_is_pure_and_per_grid_point(self):
+        campaign = FaultCampaign(**self.CAMPAIGN)
+        a = campaign.scenario_for(42, "wgtt", 15.0, "udp", 0, 8)
+        b = campaign.scenario_for(42, "wgtt", 15.0, "udp", 0, 8)
+        assert a.to_json() == b.to_json()  # pure function of coordinates
+        other_seed = campaign.scenario_for(42, "wgtt", 15.0, "udp", 1, 8)
+        other_base = campaign.scenario_for(43, "wgtt", 15.0, "udp", 0, 8)
+        assert a.to_json() != other_seed.to_json()
+        assert a.to_json() != other_base.to_json()
+
+    def test_expansion_attaches_scenarios_per_job(self):
+        spec = SweepSpec(modes=("wgtt",), speeds_mph=(15.0,),
+                         seeds=(0, 1), n_aps=3,
+                         fault_campaign=self.CAMPAIGN, base_seed=42)
+        jobs = spec.expand()
+        assert all(j.fault_scenario is not None for j in jobs)
+        assert jobs[0].fault_scenario != jobs[1].fault_scenario
+        assert spec.expand() == jobs  # reproducible, scheduling-proof
+        # The campaign draws for the sweep's AP count by default.
+        from repro.faults import FaultScenario
+
+        scenario = FaultScenario.from_json(jobs[0].fault_scenario)
+        assert all(e.ap < 3 for e in scenario.events
+                   if e.kind.startswith("ap_"))
+
+    def test_campaign_identity_flows_into_job_keys(self):
+        base = SweepSpec(modes=("wgtt",), speeds_mph=(15.0,), seeds=(0,))
+        with_campaign = SweepSpec(modes=("wgtt",), speeds_mph=(15.0,),
+                                  seeds=(0,), fault_campaign=self.CAMPAIGN)
+        assert base.expand()[0].key() != with_campaign.expand()[0].key()
 
 
 class TestCityAxis:

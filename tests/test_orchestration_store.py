@@ -1,0 +1,167 @@
+"""Unit tests for the columnar result store (synthetic summaries only).
+
+The acceptance property for the distributed-sweep era: a multi-hundred
+job study must be queryable through the aggregator with one file open
+per *shard*, never per job -- and reconstruction must round-trip every
+``DriveSummary`` field byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.orchestration import (
+    ColumnarStore,
+    DriveSummary,
+    JobSpec,
+    ResultCache,
+    SweepAggregator,
+    migrate_json_cache,
+)
+from repro.orchestration.store import STORE_VERSION
+
+
+def make_summary(seed: int, mode: str = "wgtt", speed: float = 25.0,
+                 policy: str = "") -> DriveSummary:
+    """A fully-populated synthetic summary, distinct per seed."""
+    return DriveSummary(
+        job_key=f"{mode}:{speed:g}:udp:r50:s{seed}",
+        mode=mode, speed_mph=speed, traffic="udp", udp_rate_mbps=50.0,
+        seed=seed, duration_s=5.0, measure_t0=0.55, measure_t1=5.0,
+        throughput_mbps=10.0 + seed * 0.25,
+        coverage_throughput_mbps=12.0 + seed * 0.125,
+        coverage_t0=1.0, coverage_t1=4.0,
+        bin_s=0.25,
+        bin_centres=[1.125 + 0.25 * i for i in range(seed % 4)],
+        bin_mbps=[float(seed + i) for i in range(seed % 4)],
+        switch_events=[(1.0, seed % 8), (2.0, None)][: 1 + seed % 2],
+        switch_count=1 + seed % 2,
+        trace_counters={"ap_switch": seed % 5},
+        events_fired=1000 + seed,
+        wall_clock_s=0.01,
+        policy=policy,
+        dropped_records=seed % 3,
+        resilience={"failovers": seed % 2} if seed % 2 else {},
+        n_vehicles=seed % 6, n_segments=seed % 4,
+        per_segment_mbps={0: 1.5, 3: float(seed)} if seed % 3 == 0 else {},
+    )
+
+
+def test_roundtrip_is_lossless(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=8)
+    originals = [make_summary(s) for s in range(5)]
+    store.extend(originals)
+    store.flush()
+    back = list(store.summaries())
+    assert [b.to_dict() for b in back] == [o.to_dict() for o in originals]
+
+
+def test_sharding_and_reopen(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=4)
+    store.extend(make_summary(s) for s in range(10))
+    store.flush()
+    assert store.n_shards == 3  # 4 + 4 + 2
+    assert len(store) == 10
+    # A fresh handle reads the manifest and sees the same data.
+    reopened = ColumnarStore(tmp_path)
+    assert reopened.shard_size == 4  # manifest wins over the default
+    assert len(reopened) == 10
+    assert len(list(reopened.summaries())) == 10
+
+
+def test_query_concatenates_across_shards(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=3)
+    store.extend(make_summary(s) for s in range(7))
+    store.flush()
+    cols = store.query("seed", "throughput_mbps")
+    assert list(cols["seed"]) == list(range(7))
+    assert cols["throughput_mbps"][6] == pytest.approx(10.0 + 6 * 0.25)
+    with pytest.raises(KeyError):
+        store.query("no_such_column")
+
+
+def test_ragged_columns_slice_per_job(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=100)
+    originals = [make_summary(s) for s in range(6)]
+    store.extend(originals)
+    store.flush()
+    cols = store.query("bin_offsets", "bin_mbps")
+    for i, original in enumerate(originals):
+        lo, hi = int(cols["bin_offsets"][i]), int(cols["bin_offsets"][i + 1])
+        assert list(cols["bin_mbps"][lo:hi]) == original.bin_mbps
+
+
+def test_version_mismatch_is_rejected_on_open(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=2)
+    store.append(make_summary(0))
+    store.flush()
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    manifest["store_version"] = STORE_VERSION - 1
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="store_version"):
+        ColumnarStore(tmp_path)
+
+
+def test_partial_buffer_not_visible_until_flush(tmp_path):
+    store = ColumnarStore(tmp_path, shard_size=100)
+    store.append(make_summary(0))
+    assert len(store) == 1  # buffered
+    assert store.n_shards == 0
+    assert list(ColumnarStore(tmp_path).summaries()) == []  # not durable yet
+    store.flush()
+    assert len(list(ColumnarStore(tmp_path).summaries())) == 1
+
+
+def test_migrate_json_cache_packs_legacy_entries(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    for seed in range(6):
+        job = JobSpec(mode="wgtt", speed_mph=25.0, traffic="udp", seed=seed)
+        cache.put(job, make_summary(seed))
+    # A foreign file in the tree must be skipped, not fatal.
+    bad = tmp_path / "cache" / "zz"
+    bad.mkdir()
+    (bad / "junk.json").write_text("{not json")
+    store = ColumnarStore(tmp_path / "store", shard_size=4)
+    assert migrate_json_cache(tmp_path / "cache", store) == 6
+    migrated = {s.seed: s for s in store.summaries()}
+    assert sorted(migrated) == list(range(6))
+    assert migrated[3].to_dict() == make_summary(3).to_dict()
+
+
+def test_migrate_respects_limit(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    for seed in range(5):
+        cache.put(JobSpec(seed=seed), make_summary(seed))
+    store = ColumnarStore(tmp_path / "store")
+    assert migrate_json_cache(tmp_path / "cache", store, limit=2) == 2
+    assert len(store) == 2
+
+
+# ------------------------------------------------------------ acceptance
+def test_200_job_study_queries_without_per_job_opens(tmp_path):
+    """The headline property: a >=200-job sweep stored columnar is
+    aggregated with one np.load per shard -- zero per-job file I/O."""
+    n_jobs = 240
+    store = ColumnarStore(tmp_path, shard_size=64)
+    for seed in range(n_jobs):
+        mode = "wgtt" if seed % 2 == 0 else "baseline"
+        store.append(make_summary(seed, mode=mode, speed=15.0 + (seed % 3)))
+    store.flush()
+    assert store.n_shards == 4  # 64 * 3 + 48
+    assert len(store) == n_jobs
+    # No stray per-job files on disk: shards + manifest only.
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == ["manifest.json"] + [f"shard-{i:05d}.npz"
+                                         for i in range(4)]
+
+    store.files_opened = 0
+    agg = SweepAggregator()
+    assert agg.consume_store(store) == n_jobs
+    assert store.files_opened == store.n_shards  # the receipts
+    snapshot = agg.snapshot()
+    assert snapshot["jobs_seen"] == n_jobs
+    assert sum(c["n"] for c in snapshot["cells"]) == n_jobs
+    # 2 modes x 3 speeds, and each cell's mean is within its min/max.
+    assert len(snapshot["cells"]) == 6
+    for cell in snapshot["cells"]:
+        assert cell["min"] <= cell["mean"] <= cell["max"]
